@@ -1,0 +1,204 @@
+// Command eprocess runs a single walk process on a generated graph and
+// reports cover times, phase statistics and the relevant theorem
+// bounds. It is the quickest way to poke at the library:
+//
+//	eprocess -graph regular -n 10000 -degree 4 -process eprocess
+//	eprocess -graph hypercube -dim 10 -process srw
+//	eprocess -graph torus -n 1024 -process rotor
+//	eprocess -graph regular -n 2000 -degree 4 -process eprocess -rule adversary -verify
+//
+// With -verify the run checks Observations 10–12 online (even-degree
+// graphs only) and fails loudly on any violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/spectral"
+	"repro/internal/walk"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "eprocess:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		graphKind = flag.String("graph", "regular", "graph family: regular | hypercube | torus | cycle | circulant | rgg")
+		n         = flag.Int("n", 10000, "number of vertices (regular, cycle, circulant, rgg; torus uses the nearest square)")
+		degree    = flag.Int("degree", 4, "degree for -graph regular")
+		dim       = flag.Int("dim", 10, "dimension for -graph hypercube")
+		process   = flag.String("process", "eprocess", "process: eprocess | srw | lazy | rwc2 | rwc3 | rotor | least-used | oldest-first")
+		rule      = flag.String("rule", "uniform", "E-process rule A: uniform | lowest | highest | round-robin | adversary | greedy")
+		seed      = flag.Uint64("seed", 1, "master seed")
+		start     = flag.Int("start", 0, "start vertex")
+		verify    = flag.Bool("verify", false, "check Observations 10-12 online (E-process on even-degree graphs)")
+		spectrum  = flag.Bool("spectral", true, "compute the eigenvalue gap and print theorem bounds")
+	)
+	flag.Parse()
+
+	r := rand.New(rng.New(rng.KindXoshiro, *seed))
+	g, err := buildGraph(*graphKind, *n, *degree, *dim, r)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: %s  (n=%d, m=%d, even-degree=%v, bipartite=%v)\n",
+		*graphKind, g.N(), g.M(), g.IsEvenDegree(), g.IsBipartite())
+
+	if *start < 0 || *start >= g.N() {
+		return fmt.Errorf("start vertex %d out of range", *start)
+	}
+
+	if *verify {
+		if *process != "eprocess" {
+			return fmt.Errorf("-verify requires -process eprocess")
+		}
+		e := walk.NewEProcess(g, r, ruleByName(*rule), *start)
+		ct, st, err := core.VerifiedRun(e, 0)
+		if err != nil {
+			return err
+		}
+		report(g, ct, &st)
+		fmt.Println("invariants: Observations 10, 11, 12 verified ✓")
+	} else {
+		p, err := buildProcess(*process, *rule, g, r, *start)
+		if err != nil {
+			return err
+		}
+		ct, err := walk.Cover(p, 0)
+		if err != nil {
+			return err
+		}
+		var st *walk.Stats
+		if e, ok := p.(*walk.EProcess); ok {
+			s := e.Stats()
+			st = &s
+		}
+		report(g, ct, st)
+	}
+
+	if *spectrum {
+		gap, err := spectral.ComputeGap(g, spectral.Options{Tol: 1e-8})
+		if err != nil {
+			return fmt.Errorf("spectral: %w", err)
+		}
+		lazy := spectral.LazyGap(gap)
+		fmt.Printf("spectral: λ2=%.5f λn=%.5f gap=%.5f (lazy gap %.5f)\n",
+			gap.Lambda2, gap.LambdaN, gap.Value, lazy.Value)
+		if g.IsEvenDegree() {
+			horizon := int(math.Log(float64(g.N()))) + 2
+			if g.N() > 50000 {
+				horizon = 6 // keep the census cheap on huge graphs
+			}
+			lres, err := core.LGoodGraph(g, horizon)
+			if err == nil {
+				exact := "exactly"
+				if !lres.Exact {
+					exact = "at least"
+				}
+				fmt.Printf("ℓ-goodness: graph is %s %d-good\n", exact, lres.Ell)
+				fmt.Printf("Theorem 1 bound: %.0f steps (unit constant)\n",
+					core.Theorem1Bound(g.N(), float64(lres.Ell), lazy.Value))
+			}
+			fmt.Printf("Theorem 3 bound: %.0f steps (unit constant)\n",
+				core.Theorem3Bound(g.N(), g.M(), max(1, g.Girth()), g.MaxDegree(), lazy.Value))
+		}
+		fmt.Printf("lower bounds: Radzik (n/4)log(n/2)=%.0f, Feige n·ln n=%.0f (for reversible walks)\n",
+			core.RadzikLowerBound(g.N()), core.FeigeLowerBound(g.N()))
+	}
+	return nil
+}
+
+func report(g *graph.Graph, ct walk.CoverTimes, st *walk.Stats) {
+	fmt.Printf("vertex cover: %d steps  (%.3f per vertex)\n", ct.Vertex, float64(ct.Vertex)/float64(g.N()))
+	fmt.Printf("edge cover:   %d steps  (%.3f per edge)\n", ct.Edge, float64(ct.Edge)/float64(g.M()))
+	if st != nil {
+		fmt.Printf("phases: %d blue steps (≤ m=%d), %d red steps, %d blue phases, %d red phases\n",
+			st.BlueSteps, g.M(), st.RedSteps, st.BluePhases, st.RedPhases)
+	}
+}
+
+func buildGraph(kind string, n, degree, dim int, r *rand.Rand) (*graph.Graph, error) {
+	switch kind {
+	case "regular":
+		if n*degree%2 != 0 {
+			n++
+		}
+		return gen.RandomRegularSW(r, n, degree)
+	case "hypercube":
+		return gen.Hypercube(dim)
+	case "torus":
+		side := int(math.Sqrt(float64(n)))
+		if side < 3 {
+			side = 3
+		}
+		return gen.Torus(side, side)
+	case "cycle":
+		return gen.Cycle(n)
+	case "circulant":
+		k := int(math.Sqrt(float64(n)))
+		return gen.Circulant(n, []int{1, k})
+	case "rgg":
+		return gen.RandomGeometricConnected(r, n, 0)
+	default:
+		return nil, fmt.Errorf("unknown graph kind %q", kind)
+	}
+}
+
+func ruleByName(name string) walk.Rule {
+	switch name {
+	case "lowest":
+		return walk.LowestEdgeFirst{}
+	case "highest":
+		return walk.HighestEdgeFirst{}
+	case "round-robin":
+		return &walk.RoundRobin{}
+	case "adversary":
+		return walk.TowardVisited{}
+	case "greedy":
+		return walk.TowardUnvisited{}
+	default:
+		return walk.Uniform{}
+	}
+}
+
+func buildProcess(name, rule string, g *graph.Graph, r *rand.Rand, start int) (walk.Process, error) {
+	switch name {
+	case "eprocess":
+		return walk.NewEProcess(g, r, ruleByName(rule), start), nil
+	case "srw":
+		return walk.NewSimple(g, r, start), nil
+	case "lazy":
+		return walk.NewLazy(g, r, start), nil
+	case "rwc2":
+		return walk.NewChoice(g, r, 2, start), nil
+	case "rwc3":
+		return walk.NewChoice(g, r, 3, start), nil
+	case "rotor":
+		return walk.NewRotor(g, r, start), nil
+	case "least-used":
+		return walk.NewLeastUsedFirst(g, r, start), nil
+	case "oldest-first":
+		return walk.NewOldestFirst(g, r, start), nil
+	default:
+		return nil, fmt.Errorf("unknown process %q", name)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,55 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("3, 4,5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 3 || got[2] != 5 {
+		t.Errorf("parseInts = %v", got)
+	}
+	if _, err := parseInts("3,x"); err == nil {
+		t.Error("bad int should fail")
+	}
+	if _, err := parseInts(""); err == nil {
+		t.Error("empty should fail")
+	}
+}
+
+func TestGeometricNs(t *testing.T) {
+	ns, err := geometricNs(1000, 16000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 5 {
+		t.Fatalf("points = %d", len(ns))
+	}
+	if ns[0] != 1000 {
+		t.Errorf("first = %d", ns[0])
+	}
+	if ns[4] < 15900 || ns[4] > 16000 {
+		t.Errorf("last = %d, want ≈16000", ns[4])
+	}
+	for i := 1; i < len(ns); i++ {
+		if ns[i] <= ns[i-1] {
+			t.Errorf("not increasing: %v", ns)
+		}
+	}
+	// Single point returns nmin.
+	one, err := geometricNs(500, 1000, 1)
+	if err != nil || len(one) != 1 || one[0] != 500 {
+		t.Errorf("single point = %v, %v", one, err)
+	}
+	// Errors.
+	if _, err := geometricNs(5, 10, 2); err == nil {
+		t.Error("tiny nmin should fail")
+	}
+	if _, err := geometricNs(1000, 500, 2); err == nil {
+		t.Error("nmax < nmin should fail")
+	}
+	if _, err := geometricNs(1000, 2000, 0); err == nil {
+		t.Error("zero points should fail")
+	}
+}

@@ -1,0 +1,135 @@
+// Command paperrun regenerates the complete experimental record of the
+// paper in one invocation: Figure 1 plus every experiment in the
+// DESIGN.md index, written as a single markdown report (and optionally
+// per-experiment JSON files) suitable for diffing against
+// EXPERIMENTS.md.
+//
+//	paperrun -out report.md                 # CI scale, ~minutes
+//	paperrun -out report.md -scale 4        # larger n
+//	paperrun -out report.md -json results/  # also dump JSON per experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "paperrun:", err)
+		os.Exit(1)
+	}
+}
+
+type experiment struct {
+	name string
+	run  func(sim.ExpConfig) (*sim.Table, error)
+}
+
+func experiments() []experiment {
+	t := func(f func(sim.ExpConfig) (*sim.Table, error)) func(sim.ExpConfig) (*sim.Table, error) { return f }
+	return []experiment{
+		{"thm1", t(func(c sim.ExpConfig) (*sim.Table, error) { _, tb, err := sim.ExpTheorem1(c); return tb, err })},
+		{"radzik", t(func(c sim.ExpConfig) (*sim.Table, error) { _, tb, err := sim.ExpRadzikSpeedup(c); return tb, err })},
+		{"cor2", t(func(c sim.ExpConfig) (*sim.Table, error) { _, tb, err := sim.ExpCorollary2(c); return tb, err })},
+		{"eq3", t(func(c sim.ExpConfig) (*sim.Table, error) { _, tb, err := sim.ExpEdgeSandwich(c); return tb, err })},
+		{"thm3", t(func(c sim.ExpConfig) (*sim.Table, error) { _, tb, err := sim.ExpTheorem3(c); return tb, err })},
+		{"cor4", t(func(c sim.ExpConfig) (*sim.Table, error) { _, tb, err := sim.ExpCorollary4(c); return tb, err })},
+		{"hcube", t(func(c sim.ExpConfig) (*sim.Table, error) { _, tb, err := sim.ExpHypercube(c); return tb, err })},
+		{"star", t(func(c sim.ExpConfig) (*sim.Table, error) { _, tb, err := sim.ExpOddStars(c); return tb, err })},
+		{"rulea", t(func(c sim.ExpConfig) (*sim.Table, error) { _, tb, err := sim.ExpRuleIndependence(c); return tb, err })},
+		{"p1p2", t(func(c sim.ExpConfig) (*sim.Table, error) {
+			_, tb, err := sim.ExpRandomRegularProperties(c)
+			return tb, err
+		})},
+		{"grw", t(func(c sim.ExpConfig) (*sim.Table, error) { _, tb, err := sim.ExpGreedyWalk(c); return tb, err })},
+		{"compare", t(func(c sim.ExpConfig) (*sim.Table, error) { _, tb, err := sim.ExpProcessComparison(c); return tb, err })},
+		{"ablation", t(func(c sim.ExpConfig) (*sim.Table, error) {
+			_, tb, err := sim.ExpEdgeVsVertexPreference(c)
+			return tb, err
+		})},
+		{"growth", t(func(c sim.ExpConfig) (*sim.Table, error) { _, tb, err := sim.ExpAblationGrowth(c); return tb, err })},
+		{"bias", t(func(c sim.ExpConfig) (*sim.Table, error) { _, tb, err := sim.ExpBiasSweep(c); return tb, err })},
+		{"eq4", t(func(c sim.ExpConfig) (*sim.Table, error) { _, tb, err := sim.ExpBlanketTime(c); return tb, err })},
+		{"lemma13", t(func(c sim.ExpConfig) (*sim.Table, error) { _, tb, err := sim.ExpLemma13(c); return tb, err })},
+		{"phases", t(func(c sim.ExpConfig) (*sim.Table, error) { _, tb, err := sim.ExpPhaseStructure(c); return tb, err })},
+		{"degseq", t(func(c sim.ExpConfig) (*sim.Table, error) { _, tb, _, err := sim.ExpDegreeSequence(c); return tb, err })},
+	}
+}
+
+func run() error {
+	var (
+		out     = flag.String("out", "paper_report.md", "markdown report path")
+		jsonDir = flag.String("json", "", "also write per-experiment JSON reports into this directory")
+		scale   = flag.Int("scale", 1, "problem size multiplier")
+		trials  = flag.Int("trials", 5, "trials per point")
+		seed    = flag.Uint64("seed", 2012, "master seed")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		figNMax = flag.Int("fig-nmax", 8000, "largest n for the Figure 1 sweep")
+	)
+	flag.Parse()
+
+	cfg := sim.ExpConfig{Seed: *seed, Trials: *trials, Scale: *scale, Workers: *workers}
+	var md strings.Builder
+	fmt.Fprintf(&md, "# Paper reproduction report\n\n")
+	fmt.Fprintf(&md, "Generated %s · seed %d · trials %d · scale %d\n\n",
+		time.Now().Format(time.RFC3339), *seed, *trials, *scale)
+
+	// Figure 1 first.
+	ns := []int{*figNMax / 8, *figNMax / 4, *figNMax / 2, *figNMax}
+	series, err := sim.Figure1(sim.Figure1Config{
+		Ns: ns, Trials: *trials, Seed: *seed, Workers: *workers,
+	})
+	if err != nil {
+		return fmt.Errorf("figure1: %w", err)
+	}
+	figReport := sim.NewReport("fig1", cfg, sim.Figure1Table(series))
+	md.WriteString(figReport.Markdown())
+	for _, s := range series {
+		fmt.Fprintf(&md, "- d=%d verdict **%s**; linear %s; nlogn %s\n",
+			s.Degree, s.Verdict, s.Growth.Linear.String(), s.Growth.NLogN.String())
+	}
+	md.WriteString("\n")
+	reports := []sim.Report{figReport}
+
+	for _, e := range experiments() {
+		table, err := e.run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		rep := sim.NewReport(e.name, cfg, table)
+		md.WriteString(rep.Markdown())
+		reports = append(reports, rep)
+		fmt.Fprintf(os.Stderr, "done: %s\n", e.name)
+	}
+
+	if err := os.WriteFile(*out, []byte(md.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d experiments)\n", *out, len(reports))
+
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			return err
+		}
+		for _, rep := range reports {
+			f, err := os.Create(filepath.Join(*jsonDir, rep.Name+".json"))
+			if err != nil {
+				return err
+			}
+			if err := rep.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			f.Close()
+		}
+		fmt.Printf("wrote %d JSON reports to %s\n", len(reports), *jsonDir)
+	}
+	return nil
+}

@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestPaperrunRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range experiments() {
+		if e.name == "" || e.run == nil {
+			t.Errorf("malformed experiment entry %+v", e)
+		}
+		if seen[e.name] {
+			t.Errorf("duplicate experiment %q", e.name)
+		}
+		seen[e.name] = true
+	}
+	if len(seen) < 17 {
+		t.Errorf("registry has %d experiments, want at least 17", len(seen))
+	}
+}

@@ -1,0 +1,173 @@
+// Command sweep runs any of the named experiments from the DESIGN.md
+// experiment index (the paper's quantitative claims) at a chosen scale
+// and prints the resulting tables.
+//
+//	sweep -exp all                  # every experiment, CI scale
+//	sweep -exp thm1,radzik -scale 4 # selected experiments, larger n
+//	sweep -list                     # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(sim.ExpConfig) (*sim.Table, error)
+}
+
+func experiments() []experiment {
+	wrap := func(f func(sim.ExpConfig) (*sim.Table, error)) func(sim.ExpConfig) (*sim.Table, error) {
+		return f
+	}
+	return []experiment{
+		{"thm1", "Theorem 1: E-process vertex cover vs bound", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
+			_, t, err := sim.ExpTheorem1(c)
+			return t, err
+		})},
+		{"radzik", "Theorem 5: SRW lower bound and E-process speedup", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
+			_, t, err := sim.ExpRadzikSpeedup(c)
+			return t, err
+		})},
+		{"cor2", "Corollary 2: Θ(n) growth for r ≥ 4 even", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
+			_, t, err := sim.ExpCorollary2(c)
+			return t, err
+		})},
+		{"eq3", "Equation 3: edge cover sandwich", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
+			_, t, err := sim.ExpEdgeSandwich(c)
+			return t, err
+		})},
+		{"thm3", "Theorem 3: girth-parameterised edge cover", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
+			_, t, err := sim.ExpTheorem3(c)
+			return t, err
+		})},
+		{"cor4", "Corollary 4: edge cover O(ωn) on random regular", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
+			_, t, err := sim.ExpCorollary4(c)
+			return t, err
+		})},
+		{"hcube", "Hypercube edge cover case study", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
+			_, t, err := sim.ExpHypercube(c)
+			return t, err
+		})},
+		{"star", "Section 5: isolated blue stars on odd degree", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
+			_, t, err := sim.ExpOddStars(c)
+			return t, err
+		})},
+		{"rulea", "Rule-A independence (incl. adversary)", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
+			_, t, err := sim.ExpRuleIndependence(c)
+			return t, err
+		})},
+		{"p1p2", "Random regular properties (P1), (P2)", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
+			_, t, err := sim.ExpRandomRegularProperties(c)
+			return t, err
+		})},
+		{"grw", "Greedy random walk vs eq. (2)", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
+			_, t, err := sim.ExpGreedyWalk(c)
+			return t, err
+		})},
+		{"compare", "Process comparison (SRW/E/RWC/rotor/fair)", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
+			_, t, err := sim.ExpProcessComparison(c)
+			return t, err
+		})},
+		{"ablation", "Unvisited-edge vs unvisited-vertex preference", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
+			_, t, err := sim.ExpEdgeVsVertexPreference(c)
+			return t, err
+		})},
+		{"growth", "Cover growth classification by process", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
+			_, t, err := sim.ExpAblationGrowth(c)
+			return t, err
+		})},
+		{"bias", "Cover time vs unvisited-preference strength", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
+			_, t, err := sim.ExpBiasSweep(c)
+			return t, err
+		})},
+		{"eq4", "Blanket time / T(r) / eq. (4) edge-cover bound", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
+			_, t, err := sim.ExpBlanketTime(c)
+			return t, err
+		})},
+		{"lemma13", "Lemma 13: unvisited-set probability bound", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
+			_, t, err := sim.ExpLemma13(c)
+			return t, err
+		})},
+		{"phases", "Blue-phase decomposition of the E-process", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
+			_, t, err := sim.ExpPhaseStructure(c)
+			return t, err
+		})},
+		{"degseq", "Corollary 2 on fixed even degree sequences", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
+			_, t, _, err := sim.ExpDegreeSequence(c)
+			return t, err
+		})},
+	}
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		expList = flag.String("exp", "all", "comma-separated experiment names, or 'all'")
+		scale   = flag.Int("scale", 1, "problem size multiplier (1 = CI scale)")
+		trials  = flag.Int("trials", 5, "trials per point")
+		seed    = flag.Uint64("seed", 2012, "master seed")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	exps := experiments()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-8s %s\n", e.name, e.desc)
+		}
+		return nil
+	}
+
+	byName := make(map[string]experiment, len(exps))
+	for _, e := range exps {
+		byName[e.name] = e
+	}
+	var selected []experiment
+	if *expList == "all" {
+		selected = exps
+	} else {
+		for _, name := range strings.Split(*expList, ",") {
+			name = strings.TrimSpace(name)
+			e, ok := byName[name]
+			if !ok {
+				known := make([]string, 0, len(byName))
+				for k := range byName {
+					known = append(known, k)
+				}
+				sort.Strings(known)
+				return fmt.Errorf("unknown experiment %q (known: %s)", name, strings.Join(known, ", "))
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	cfg := sim.ExpConfig{Seed: *seed, Trials: *trials, Scale: *scale, Workers: *workers}
+	for i, e := range selected {
+		if i > 0 {
+			fmt.Println()
+		}
+		table, err := e.run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		if err := table.WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestExperimentRegistryUniqueNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range experiments() {
+		if e.name == "" || e.desc == "" {
+			t.Errorf("experiment with empty name/desc: %+v", e)
+		}
+		if seen[e.name] {
+			t.Errorf("duplicate experiment name %q", e.name)
+		}
+		seen[e.name] = true
+		if e.run == nil {
+			t.Errorf("experiment %q has nil runner", e.name)
+		}
+	}
+	if len(seen) < 14 {
+		t.Errorf("registry has %d experiments, expected at least 14", len(seen))
+	}
+}
+
+func TestEveryExperimentRunsTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tiny full-registry run still takes seconds")
+	}
+	cfg := sim.ExpConfig{Seed: 9, Trials: 1, Scale: 1}
+	for _, e := range experiments() {
+		table, err := e.run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", e.name, err)
+		}
+		var buf bytes.Buffer
+		if err := table.WriteText(&buf); err != nil {
+			t.Fatalf("%s render: %v", e.name, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced empty table", e.name)
+		}
+	}
+}

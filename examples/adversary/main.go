@@ -1,0 +1,55 @@
+// Adversary: Theorem 1's bound is independent of the rule A used to
+// choose among unvisited edges — even when the rule is chosen on-line
+// by an adversary. This example runs the E-process under every
+// implemented rule, including the adversarial "toward-visited" rule
+// that tries to strand unvisited territory, and shows the normalised
+// cover time staying Θ(1) on an even-degree expander; it also verifies
+// the structural Observations 10–12 online for each rule.
+//
+//	go run ./examples/adversary
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	const (
+		n    = 5000
+		seed = 2012
+	)
+	r := rand.New(repro.NewSource(repro.KindXoshiro, seed))
+	g, err := repro.RandomRegularSW(r, n, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: random 4-regular, n=%d, m=%d\n\n", g.N(), g.M())
+	fmt.Printf("%-26s %12s %9s %12s %12s\n", "rule A", "C_V", "C_V/n", "blue phases", "invariants")
+
+	rules := []repro.Rule{
+		repro.Uniform{},
+		repro.LowestEdgeFirst{},
+		repro.HighestEdgeFirst{},
+		&repro.RoundRobin{},
+		repro.TowardVisited{},   // the adversary
+		repro.TowardUnvisited{}, // the greedy explorer
+	}
+	for _, rule := range rules {
+		walkRand := rand.New(repro.NewSource(repro.KindXoshiro, seed+1))
+		e := repro.NewEProcess(g, walkRand, rule, 0)
+		ct, st, err := repro.VerifiedRun(e, 0)
+		if err != nil {
+			log.Fatalf("rule %s: %v", rule.Name(), err)
+		}
+		fmt.Printf("%-26s %12d %9.3f %12d %12s\n",
+			rule.Name(), ct.Vertex, float64(ct.Vertex)/float64(n), st.BluePhases, "ok")
+	}
+
+	fmt.Println("\nevery rule — including the adversarial one — covers the expander in")
+	fmt.Println("Θ(n) steps, and every blue phase returned to its start vertex")
+	fmt.Println("(Observation 10), as the even-degree parity argument guarantees.")
+}

@@ -1,0 +1,73 @@
+// Comparison: one-stop cover-time comparison of every walk process in
+// the library on the same graphs — the simple random walk, the paper's
+// E-process (greedy random walk), random walk with choice RWC(d), the
+// rotor-router, and the locally fair walks — on the three families the
+// literature uses: a torus and a random geometric graph (Avin &
+// Krishnamachari's setting) and a random even-degree expander (the
+// paper's setting).
+//
+//	go run ./examples/comparison
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	const seed = 31415
+	type family struct {
+		name  string
+		build func(r *rand.Rand) (*repro.Graph, error)
+	}
+	families := []family{
+		{"torus 20x20", func(r *rand.Rand) (*repro.Graph, error) { return repro.Torus(20, 20) }},
+		{"geometric n=400", func(r *rand.Rand) (*repro.Graph, error) {
+			return repro.RandomGeometricConnected(r, 400, 0)
+		}},
+		{"4-regular n=500", func(r *rand.Rand) (*repro.Graph, error) {
+			return repro.RandomRegularSW(r, 500, 4)
+		}},
+	}
+	type proc struct {
+		name  string
+		build func(g *repro.Graph, r *rand.Rand) repro.Process
+	}
+	procs := []proc{
+		{"srw", func(g *repro.Graph, r *rand.Rand) repro.Process { return repro.NewSimple(g, r, 0) }},
+		{"eprocess/grw", func(g *repro.Graph, r *rand.Rand) repro.Process { return repro.NewEProcess(g, r, nil, 0) }},
+		{"rwc(2)", func(g *repro.Graph, r *rand.Rand) repro.Process { return repro.NewChoice(g, r, 2, 0) }},
+		{"rwc(3)", func(g *repro.Graph, r *rand.Rand) repro.Process { return repro.NewChoice(g, r, 3, 0) }},
+		{"rotor", func(g *repro.Graph, r *rand.Rand) repro.Process { return repro.NewRotor(g, r, 0) }},
+		{"least-used", func(g *repro.Graph, r *rand.Rand) repro.Process { return repro.NewLeastUsedFirst(g, r, 0) }},
+		{"oldest-first", func(g *repro.Graph, r *rand.Rand) repro.Process { return repro.NewOldestFirst(g, r, 0) }},
+	}
+
+	for _, f := range families {
+		r := rand.New(repro.NewSource(repro.KindXoshiro, seed))
+		g, err := f.build(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s (n=%d, m=%d) ==\n", f.name, g.N(), g.M())
+		fmt.Printf("%-14s %12s %10s %12s %10s\n", "process", "C_V", "C_V/n", "C_E", "C_E/m")
+		for _, p := range procs {
+			pr := rand.New(repro.NewSource(repro.KindXoshiro, seed+17))
+			proc := p.build(g, pr)
+			ct, err := repro.CoverBoth(proc, 0)
+			if err != nil {
+				log.Fatalf("%s on %s: %v", p.name, f.name, err)
+			}
+			fmt.Printf("%-14s %12d %10.2f %12d %10.2f\n",
+				p.name, ct.Vertex, float64(ct.Vertex)/float64(g.N()),
+				ct.Edge, float64(ct.Edge)/float64(g.M()))
+		}
+		fmt.Println()
+	}
+	fmt.Println("the E-process/GRW column shows edge cover ≈ m on the even-degree")
+	fmt.Println("families (the eq. (3) lower bound), and vertex cover within a small")
+	fmt.Println("constant of n — the linear-time exploration the paper proves.")
+}

@@ -1,0 +1,87 @@
+// Exactcheck: validates the simulation machinery against exact linear
+// algebra, the way the paper's Section 2 builds its toolbox. It solves
+// hitting times, return times and cover times exactly on small graphs
+// and compares them with (a) closed-form identities from the paper
+// (E_u T_u^+ = 1/π_u = 2m/d(u)), (b) the Lemma 6 bound
+// E_π(H_v) ≤ 1/((1−λmax)π_v), and (c) Monte-Carlo estimates from the
+// walk package.
+//
+//	go run ./examples/exactcheck
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	r := rand.New(repro.NewSource(repro.KindXoshiro, 2024))
+	g, err := repro.RandomRegular(r, 14, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: random 4-regular, n=%d, m=%d\n\n", g.N(), g.M())
+
+	// (a) Return-time identity E_u(T_u^+) = 2m/d(u).
+	fmt.Println("(a) return-time identity (Section 2.2):")
+	for _, u := range []int{0, 7} {
+		exact, err := repro.ExactReturnTime(g, u)
+		if err != nil {
+			log.Fatal(err)
+		}
+		want := float64(2*g.M()) / float64(g.Degree(u))
+		fmt.Printf("    E_%d(T+) exact = %.6f, identity 2m/d = %.6f\n", u, exact, want)
+	}
+
+	// (b) Lemma 6: E_π(H_v) ≤ 1/(gap·π_v).
+	gap, err := repro.ComputeGap(g, repro.SpectralOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n(b) Lemma 6 (gap = %.4f):\n", gap.Value)
+	for _, v := range []int{0, 5} {
+		lhs, err := repro.ExactStationaryHitting(g, v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		piv := float64(g.Degree(v)) / float64(2*g.M())
+		bound := 1 / (gap.Value * piv)
+		fmt.Printf("    E_π(H_%d) = %.3f  ≤  1/(gap·π) = %.3f  %v\n", v, lhs, bound, lhs <= bound)
+	}
+
+	// (c) exact vs Monte Carlo.
+	fmt.Println("\n(c) exact vs Monte-Carlo (20000 trials):")
+	h, err := repro.ExactHittingTimes(g, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mc, err := repro.EstimateHittingTime(g, r, 0, 9, 20000, 1<<22)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("    E_0(H_9): exact %.4f vs MC %.4f (%.2f%% off)\n",
+		h[0], mc, 100*(mc-h[0])/h[0])
+
+	exactCover, err := repro.ExactCoverTimeSRW(g, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const trials = 20000
+	var total int64
+	for i := 0; i < trials; i++ {
+		w := repro.NewSimple(g, r, 0)
+		s, err := repro.VertexCoverSteps(w, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total += s
+	}
+	mcCover := float64(total) / trials
+	fmt.Printf("    E(C_0):   exact %.4f vs MC %.4f (%.2f%% off)\n",
+		exactCover, mcCover, 100*(mcCover-exactCover)/exactCover)
+	fmt.Printf("\n    Radzik floor for any reversible walk: %.2f; exact cover sits above it: %v\n",
+		repro.RadzikLowerBound(g.N()), exactCover >= repro.RadzikLowerBound(g.N()))
+}

@@ -1,0 +1,81 @@
+// Patrol: the network-patrolling scenario that motivates rotor-router
+// style processes (Yanovski–Wagner–Bruckstein) and the paper's
+// E-process. A security agent must repeatedly visit every link of a
+// toroidal mesh; we compare how quickly each strategy completes its
+// first full patrol (edge cover) and how evenly it keeps revisiting
+// links afterwards (max/min edge visit ratio over a long horizon).
+//
+//	go run ./examples/patrol
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	const (
+		side    = 24 // 24×24 torus: 576 vertices, 1152 edges, 4-regular
+		seed    = 42
+		horizon = 300000 // steps of steady-state patrolling to assess fairness
+	)
+	g, err := repro.Torus(side, side)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("patrol area: %dx%d torus (n=%d, m=%d)\n\n", side, side, g.N(), g.M())
+	fmt.Printf("%-14s %12s %12s %14s\n", "strategy", "first patrol", "steps/edge", "fairness max/min")
+
+	type strategy struct {
+		name  string
+		build func(r *rand.Rand) repro.Process
+	}
+	strategies := []strategy{
+		{"srw", func(r *rand.Rand) repro.Process { return repro.NewSimple(g, r, 0) }},
+		{"eprocess", func(r *rand.Rand) repro.Process { return repro.NewEProcess(g, r, nil, 0) }},
+		{"rotor", func(r *rand.Rand) repro.Process { return repro.NewRotor(g, r, 0) }},
+		{"least-used", func(r *rand.Rand) repro.Process { return repro.NewLeastUsedFirst(g, r, 0) }},
+	}
+	for _, s := range strategies {
+		r := rand.New(repro.NewSource(repro.KindXoshiro, seed))
+		p := s.build(r)
+		firstPatrol, err := repro.EdgeCoverSteps(p, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Steady state: keep walking, count per-edge traversals.
+		visits := make([]int64, g.M())
+		for i := 0; i < horizon; i++ {
+			e, _ := p.Step()
+			if e >= 0 {
+				visits[e]++
+			}
+		}
+		minV, maxV := visits[0], visits[0]
+		for _, v := range visits[1:] {
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+		fairness := "∞ (some edge unvisited)"
+		if minV > 0 {
+			fairness = fmt.Sprintf("%.2f", float64(maxV)/float64(minV))
+		}
+		fmt.Printf("%-14s %12d %12.3f %14s\n",
+			s.name, firstPatrol, float64(firstPatrol)/float64(g.M()), fairness)
+	}
+
+	fmt.Println("\nreading the table:")
+	fmt.Println("  - the E-process finishes its first patrol in ≈ m steps (every blue")
+	fmt.Println("    step explores a new link), an order faster than the SRW;")
+	fmt.Println("  - rotor and least-used-first patrol perfectly evenly in steady state")
+	fmt.Println("    (their long-run max/min → 1), the E-process sits between the")
+	fmt.Println("    deterministic patrols and the SRW, as the paper's hybrid view")
+	fmt.Println("    (rotor-router + random walk) suggests.")
+}

@@ -1,0 +1,77 @@
+// Ramanujan: the high-girth expanders the paper's title refers to. The
+// paper cites Lubotzky–Phillips–Sarnak [11] for the existence of
+// high-girth even-degree expanders; this example constructs actual LPS
+// graphs X^{5,q}, verifies the Ramanujan eigenvalue bound and the girth
+// growth, checks ℓ-goodness on the smaller instance, and confirms the
+// E-process explores them in linear time as Theorem 1 promises.
+//
+// Note: Ramanujan graphs cluster many eigenvalues just below the 2√p
+// bound, which is the hardest possible regime for power iteration, so
+// the spectral tolerance here is modest (1e-6) to keep the example
+// snappy.
+//
+//	go run ./examples/ramanujan
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	const p = 5 // degree p+1 = 6: even, as the paper requires
+	fmt.Printf("%4s %7s %6s %8s %10s %9s\n",
+		"q", "n", "girth", "λ2(adj)", "2√p bound", "C_V/n")
+	for _, q := range []int{13, 17} {
+		g, err := repro.LPS(p, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		l2, err := repro.Lambda2(g, repro.SpectralOptions{Tol: 1e-6, MaxIter: 20000})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		r := rand.New(repro.NewSource(repro.KindXoshiro, uint64(q)))
+		e := repro.NewEProcess(g, r, nil, 0)
+		cover, err := repro.VertexCoverSteps(e, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%4d %7d %6d %8.3f %10.3f %9.3f\n",
+			q, g.N(), g.Girth(),
+			l2*float64(p+1), 2*math.Sqrt(p),
+			float64(cover)/float64(g.N()))
+	}
+
+	// ℓ-goodness on the smaller instance. Horizon girth−1 finds no
+	// cycles at all, which certifies ℓ(G) ≥ girth instantly — exactly
+	// the "high girth ⇒ ℓ-good" logic that puts girth in the paper's
+	// title. (Searching at horizon ≥ girth would price out an example:
+	// LPS graphs pack many girth-length cycles through every vertex.)
+	g, err := repro.LPS(p, 13)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lres, err := repro.LGoodGraph(g, g.Girth()-1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel := "="
+	if !lres.Exact {
+		rel = "≥"
+	}
+	fmt.Printf("\nLPS(5,13): ℓ(G) %s %d (girth %d)\n", rel, lres.Ell, g.Girth())
+
+	fmt.Println("\nreading the table:")
+	fmt.Println("  - λ2(adj) stays below the Ramanujan bound 2√5 ≈ 4.472: these are")
+	fmt.Println("    (near-)optimal expanders;")
+	fmt.Println("  - girth grows with q (≥ 2·log_5 q), so ℓ-goodness grows with it;")
+	fmt.Println("  - C_V/n stays near 2: the E-process explores high-girth even-degree")
+	fmt.Println("    expanders in linear time — the paper's title, measured.")
+}

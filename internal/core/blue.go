@@ -1,0 +1,169 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/walk"
+)
+
+// BlueComponent is one connected component of the unvisited ("blue")
+// edge-induced subgraph of a running E-process.
+type BlueComponent struct {
+	Edges    []int // unvisited edge IDs, increasing
+	Vertices []int // vertices touched by those edges, increasing
+	// UnvisitedVertices are the component's vertices whose every
+	// incident edge is unvisited — the vertices that have never been
+	// occupied by the walk. Observation 11: every unvisited vertex lies
+	// in a blue component, but not every blue component contains one.
+	UnvisitedVertices []int
+}
+
+// Analysis is a snapshot of the blue structure of an E-process.
+type Analysis struct {
+	Components []BlueComponent
+	// UnvisitedVertexCount is the number of vertices never occupied.
+	UnvisitedVertexCount int
+	// IsolatedStars counts components that are stars whose centre is an
+	// unvisited vertex with full blue degree (the Section 5 "isolated
+	// blue stars" {v, w, x, y}).
+	IsolatedStars int
+	// EvenBlueDegrees reports whether every vertex has even blue
+	// degree, which Observation 11 guarantees whenever the process is
+	// outside a blue phase on an even-degree graph.
+	EvenBlueDegrees bool
+}
+
+// AnalyzeBlue computes the blue-component decomposition of the current
+// state of e.
+func AnalyzeBlue(e *walk.EProcess) Analysis {
+	g := e.Graph()
+	unvisited := e.UnvisitedEdgeIDs()
+	// Union-find over vertices touched by blue edges.
+	parent := make(map[int]int)
+	var find func(int) int
+	find = func(x int) int {
+		p, ok := parent[x]
+		if !ok {
+			parent[x] = x
+			return x
+		}
+		if p == x {
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, id := range unvisited {
+		ed := g.Edge(id)
+		union(ed.U, ed.V)
+	}
+	compEdges := make(map[int][]int)
+	compVerts := make(map[int]map[int]bool)
+	for _, id := range unvisited {
+		ed := g.Edge(id)
+		root := find(ed.U)
+		compEdges[root] = append(compEdges[root], id)
+		if compVerts[root] == nil {
+			compVerts[root] = make(map[int]bool)
+		}
+		compVerts[root][ed.U] = true
+		compVerts[root][ed.V] = true
+	}
+
+	blueDeg := func(v int) int { return e.BlueDegree(v) }
+	an := Analysis{EvenBlueDegrees: true}
+	for v := 0; v < g.N(); v++ {
+		bd := blueDeg(v)
+		if bd%2 != 0 {
+			an.EvenBlueDegrees = false
+		}
+		if bd == g.Degree(v) && g.Degree(v) > 0 {
+			an.UnvisitedVertexCount++
+		}
+	}
+
+	for root, edges := range compEdges {
+		verts := make([]int, 0, len(compVerts[root]))
+		for v := range compVerts[root] {
+			verts = append(verts, v)
+		}
+		sortInts(verts)
+		sortInts(edges)
+		comp := BlueComponent{Edges: edges, Vertices: verts}
+		for _, v := range verts {
+			if blueDeg(v) == g.Degree(v) {
+				comp.UnvisitedVertices = append(comp.UnvisitedVertices, v)
+			}
+		}
+		if isIsolatedStar(g, e, comp) {
+			an.IsolatedStars++
+		}
+		an.Components = append(an.Components, comp)
+	}
+	return an
+}
+
+// isIsolatedStar reports whether comp is a star whose centre is an
+// unvisited vertex: the centre's blue degree equals its full degree and
+// equals the component's edge count, and every other vertex has blue
+// degree exactly 1 within the component.
+func isIsolatedStar(g *graph.Graph, e *walk.EProcess, comp BlueComponent) bool {
+	if len(comp.Vertices) != len(comp.Edges)+1 || len(comp.Edges) < 2 {
+		return false
+	}
+	centres := 0
+	for _, v := range comp.Vertices {
+		bd := e.BlueDegree(v)
+		switch {
+		case bd == len(comp.Edges) && bd == g.Degree(v):
+			centres++
+		case bd == 1:
+			// leaf
+		default:
+			return false
+		}
+	}
+	return centres == 1
+}
+
+// MaximalBlueSubgraph returns S*_v of Observation 11: the edge-induced
+// subgraph reached from v by fanning out along unvisited edges only.
+// The bool reports whether v is itself unvisited (full blue degree).
+func MaximalBlueSubgraph(e *walk.EProcess, v int) (edges []int, vertices []int, unvisited bool) {
+	g := e.Graph()
+	unvisited = e.BlueDegree(v) == g.Degree(v) && g.Degree(v) > 0
+	seenV := map[int]bool{v: true}
+	seenE := map[int]bool{}
+	queue := []int{v}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, h := range g.Adj(x) {
+			if e.EdgeVisited(h.ID) || seenE[h.ID] {
+				continue
+			}
+			seenE[h.ID] = true
+			edges = append(edges, h.ID)
+			if !seenV[h.To] {
+				seenV[h.To] = true
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	for u := range seenV {
+		vertices = append(vertices, u)
+	}
+	sortInts(edges)
+	sortInts(vertices)
+	return edges, vertices, unvisited
+}
+
+func sortInts(a []int) { sort.Ints(a) }

@@ -1,0 +1,129 @@
+package core
+
+import "math"
+
+// Theorem1Bound evaluates the Theorem 1 vertex cover bound
+//
+//	C_V(E-process) = O(n + n·log n / (ℓ·(1−λmax)))
+//
+// with unit constant: n + n·ln n / (ℓ·gap). Callers compare measured
+// cover times against this shape (the paper's O() hides a constant; the
+// experiments report the ratio, which must stay bounded as n grows).
+func Theorem1Bound(n int, ell float64, gap float64) float64 {
+	if n < 2 || ell <= 0 || gap <= 0 {
+		return math.Inf(1)
+	}
+	fn := float64(n)
+	return fn + fn*math.Log(fn)/(ell*gap)
+}
+
+// Theorem3Bound evaluates the Theorem 3 edge cover bound
+//
+//	C_E(E-process) = O(m + m/(1−λmax)² · (log n / g + log Δ))
+//
+// with unit constant.
+func Theorem3Bound(n, m, girth, maxDeg int, gap float64) float64 {
+	if n < 2 || m < 1 || girth < 1 || maxDeg < 1 || gap <= 0 {
+		return math.Inf(1)
+	}
+	fm := float64(m)
+	return fm + fm/(gap*gap)*(math.Log(float64(n))/float64(girth)+math.Log(float64(maxDeg)))
+}
+
+// GreedyWalkBound evaluates Orenshtein & Shinkar's edge cover bound for
+// the Greedy Random Walk on r-regular graphs (paper eq. (2)):
+//
+//	C_E(GRW) = m + O(n·log n / (1−λmax)).
+func GreedyWalkBound(n, m int, gap float64) float64 {
+	if n < 2 || gap <= 0 {
+		return math.Inf(1)
+	}
+	fn := float64(n)
+	return float64(m) + fn*math.Log(fn)/gap
+}
+
+// EdgeCoverSandwich returns the paper's eq. (3) bounds
+//
+//	m ≤ C_E(E-process) ≤ m + C_V(SRW)
+//
+// given the number of edges and a (measured or bounded) SRW vertex
+// cover time.
+func EdgeCoverSandwich(m int, srwVertexCover float64) (lo, hi float64) {
+	return float64(m), float64(m) + srwVertexCover
+}
+
+// RadzikLowerBound evaluates Theorem 5: any weighted (reversible)
+// random walk on an n-vertex graph has vertex cover time at least
+// (n/4)·log(n/2).
+func RadzikLowerBound(n int) float64 {
+	if n < 3 {
+		return 0
+	}
+	fn := float64(n)
+	return fn / 4 * math.Log(fn/2)
+}
+
+// FeigeLowerBound evaluates Feige's asymptotic lower bound
+// (1−o(1))·n·ln n on the SRW vertex cover time of any connected graph,
+// with the o(1) dropped.
+func FeigeLowerBound(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	fn := float64(n)
+	return fn * math.Log(fn)
+}
+
+// SpeedupRatio returns the paper's headline comparison: measured SRW
+// cover time divided by measured E-process cover time. Theorem 1 plus
+// Theorem 5 predict Ω(min(log n, ℓ)) on ℓ-good expanders.
+func SpeedupRatio(srwCover, eprocessCover float64) float64 {
+	if eprocessCover <= 0 {
+		return math.Inf(1)
+	}
+	return srwCover / eprocessCover
+}
+
+// MixingTime evaluates the paper's Lemma 7 mixing time
+// T = K·log n / (1−λmax) with K = 6, after which the walk is within
+// 1/n³ of stationarity in every coordinate.
+func MixingTime(n int, gap float64) float64 {
+	if n < 2 || gap <= 0 {
+		return math.Inf(1)
+	}
+	return 6 * math.Log(float64(n)) / gap
+}
+
+// HittingTimeBound evaluates Lemma 6 / Corollary 9: the expected
+// hitting time of a set S from stationarity is at most
+// 2m / (d(S)·(1−λmax)).
+func HittingTimeBound(m, degS int, gap float64) float64 {
+	if degS <= 0 || gap <= 0 {
+		return math.Inf(1)
+	}
+	return 2 * float64(m) / (float64(degS) * gap)
+}
+
+// UnvisitedSetProbBound evaluates Lemma 13: for d(S) ≤ m/(6·log n) and
+// t ≥ 7m/(d(S)·(1−λmax)), the probability S is unvisited by a random
+// walk after t steps is at most exp(−t·d(S)·(1−λmax)/(14m)). It returns
+// the bound, or 1 when the lemma's hypotheses fail.
+func UnvisitedSetProbBound(n, m, degS int, gap float64, t float64) float64 {
+	if n < 2 || m < 1 || degS < 1 || gap <= 0 {
+		return 1
+	}
+	if float64(degS) > float64(m)/(6*math.Log(float64(n))) {
+		return 1
+	}
+	threshold := 7 * float64(m) / (float64(degS) * gap)
+	if t < threshold {
+		return 1
+	}
+	return math.Exp(-t * float64(degS) * gap / (14 * float64(m)))
+}
+
+// OddStarExpectation returns the Section 5 prediction for 3-regular
+// graphs: the blue walk leaves behind an isolated-star population of
+// expected size ≈ n/8 (probability (1/2)³ that the walk turns away
+// from a tree-like vertex on each approach).
+func OddStarExpectation(n int) float64 { return float64(n) / 8 }

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/linalg"
+)
+
+// ErrTooLarge is returned by the exact computations when the graph
+// exceeds their intended size regime.
+var ErrTooLarge = errors.New("core: graph too large for exact computation")
+
+// ExactHittingTimes returns h with h[u] = E_u(H_target) for the simple
+// random walk: the expected number of steps from u until the first
+// visit to target (h[target] = 0). Solved exactly from the linear
+// system (I − Q)h = 1 where Q is the transition matrix restricted to
+// V \ {target}. Intended for n up to a few thousand (dense LU).
+//
+// These exact values validate the paper's Section 2.2 machinery: the
+// return-time identity E_u T_u^+ = 1/π_u, the hitting-time bound of
+// Lemma 6, and the Monte-Carlo estimators in package walk.
+func ExactHittingTimes(g *graph.Graph, target int) ([]float64, error) {
+	n := g.N()
+	if n > 4000 {
+		return nil, fmt.Errorf("%w: n=%d > 4000", ErrTooLarge, n)
+	}
+	if target < 0 || target >= n {
+		return nil, errors.New("core: target out of range")
+	}
+	if !g.IsConnected() {
+		return nil, errors.New("core: hitting times need a connected graph")
+	}
+	// Index map skipping target.
+	idx := make([]int, n)
+	rev := make([]int, 0, n-1)
+	for v := 0; v < n; v++ {
+		if v == target {
+			idx[v] = -1
+			continue
+		}
+		idx[v] = len(rev)
+		rev = append(rev, v)
+	}
+	m := len(rev)
+	if m == 0 {
+		return []float64{0}, nil
+	}
+	a := linalg.NewMatrix(m)
+	b := make([]float64, m)
+	for i, v := range rev {
+		a.Set(i, i, 1)
+		b[i] = 1
+		share := 1 / float64(g.Degree(v))
+		for _, h := range g.Adj(v) {
+			if h.To == target {
+				continue
+			}
+			j := idx[h.To]
+			a.Set(i, j, a.At(i, j)-share)
+		}
+	}
+	x, err := linalg.Solve(a, b)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i, v := range rev {
+		out[v] = x[i]
+	}
+	return out, nil
+}
+
+// ExactReturnTime returns E_u(T_u^+), the expected first return time to
+// u, computed exactly as 1 + avg over neighbours of their hitting time
+// to u. The Section 2.2 identity says this equals 1/π_u = 2m/d(u).
+func ExactReturnTime(g *graph.Graph, u int) (float64, error) {
+	h, err := ExactHittingTimes(g, u)
+	if err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for _, half := range g.Adj(u) {
+		sum += h[half.To]
+	}
+	return 1 + sum/float64(g.Degree(u)), nil
+}
+
+// ExactCommuteTime returns K(u,v) = E_u(T_uv) + E_v(T_vu) exactly.
+func ExactCommuteTime(g *graph.Graph, u, v int) (float64, error) {
+	hv, err := ExactHittingTimes(g, v)
+	if err != nil {
+		return 0, err
+	}
+	hu, err := ExactHittingTimes(g, u)
+	if err != nil {
+		return 0, err
+	}
+	return hv[u] + hu[v], nil
+}
+
+// ExactStationaryHitting returns E_π(H_v) = Σ_u π_u E_u(H_v), the
+// quantity Lemma 6 bounds by 1/((1−λmax)·π_v).
+func ExactStationaryHitting(g *graph.Graph, v int) (float64, error) {
+	h, err := ExactHittingTimes(g, v)
+	if err != nil {
+		return 0, err
+	}
+	total := float64(g.DegreeSum())
+	sum := 0.0
+	for u := 0; u < g.N(); u++ {
+		sum += float64(g.Degree(u)) / total * h[u]
+	}
+	return sum, nil
+}
+
+// ExactCoverTimeSRW returns E(C_v), the exact expected vertex cover
+// time of a simple random walk from start, by dynamic programming over
+// (visited set, position) states. State space is O(2^n · n), with one
+// dense solve per subset: practical for n ≤ 14.
+func ExactCoverTimeSRW(g *graph.Graph, start int) (float64, error) {
+	n := g.N()
+	if n > 14 {
+		return 0, fmt.Errorf("%w: n=%d > 14 for exact cover", ErrTooLarge, n)
+	}
+	if !g.IsConnected() {
+		return 0, errors.New("core: cover time needs a connected graph")
+	}
+	full := (1 << uint(n)) - 1
+	// memo[S] exists only for reachable S containing start; value is a
+	// map position → expected remaining cover time.
+	memo := make(map[int][]float64)
+	memo[full] = make([]float64, n) // all zeros: covered
+
+	// Process subsets in decreasing popcount so that E[S∪{w}] is known
+	// when S is solved.
+	subsetsByCount := make([][]int, n+1)
+	for s := 0; s <= full; s++ {
+		if s&(1<<uint(start)) == 0 {
+			continue
+		}
+		subsetsByCount[popcount(s)] = append(subsetsByCount[popcount(s)], s)
+	}
+	for count := n - 1; count >= 1; count-- {
+		for _, s := range subsetsByCount[count] {
+			if !subsetConnectedReachable(g, s, start) {
+				continue
+			}
+			vals, err := solveSubset(g, s, memo)
+			if err != nil {
+				return 0, err
+			}
+			memo[s] = vals
+		}
+	}
+	startSet := 1 << uint(start)
+	vals, ok := memo[startSet]
+	if !ok {
+		// n == 1 case: already covered.
+		if n == 1 {
+			return 0, nil
+		}
+		return 0, errors.New("core: start state unsolved")
+	}
+	return vals[start], nil
+}
+
+// solveSubset solves, for visited set s, the linear system over
+// positions v ∈ s:
+//
+//	E[s,v] = 1 + (1/d(v))·Σ_w { E[s,w] if w∈s else E[s∪{w},w] }.
+func solveSubset(g *graph.Graph, s int, memo map[int][]float64) ([]float64, error) {
+	n := g.N()
+	var members []int
+	for v := 0; v < n; v++ {
+		if s&(1<<uint(v)) != 0 {
+			members = append(members, v)
+		}
+	}
+	idx := make(map[int]int, len(members))
+	for i, v := range members {
+		idx[v] = i
+	}
+	a := linalg.NewMatrix(len(members))
+	b := make([]float64, len(members))
+	for i, v := range members {
+		a.Set(i, i, 1)
+		b[i] = 1
+		share := 1 / float64(g.Degree(v))
+		for _, h := range g.Adj(v) {
+			if s&(1<<uint(h.To)) != 0 {
+				j := idx[h.To]
+				a.Set(i, j, a.At(i, j)-share)
+			} else {
+				next := s | 1<<uint(h.To)
+				nv, ok := memo[next]
+				if !ok {
+					// Successor unreachable as a *visited-set* state is
+					// impossible: we just expanded to it. It must have
+					// been solved in a previous round.
+					return nil, fmt.Errorf("core: missing successor state %b", next)
+				}
+				b[i] += share * nv[h.To]
+			}
+		}
+	}
+	x, err := linalg.Solve(a, b)
+	if err != nil {
+		return nil, err
+	}
+	// Expand to vertex-indexed form so memo lookups use vertex IDs.
+	out := make([]float64, n)
+	for i, v := range members {
+		out[v] = x[i]
+	}
+	return out, nil
+}
+
+// subsetConnectedReachable reports whether visited set s is a possible
+// walk history: it must contain start and induce a connected subgraph
+// (a walk's visited set grows by adjacent vertices only).
+func subsetConnectedReachable(g *graph.Graph, s, start int) bool {
+	if s&(1<<uint(start)) == 0 {
+		return false
+	}
+	// BFS within s from start.
+	seen := 1 << uint(start)
+	queue := []int{start}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, h := range g.Adj(v) {
+			bit := 1 << uint(h.To)
+			if s&bit != 0 && seen&bit == 0 {
+				seen |= bit
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	return seen == s
+}
+
+func popcount(x int) int {
+	count := 0
+	for x != 0 {
+		x &= x - 1
+		count++
+	}
+	return count
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/spectral"
+	"repro/internal/walk"
+)
+
+func TestExactHittingTimesCycle(t *testing.T) {
+	// On C_n, E_u(H_v) = k·(n−k) where k is the cycle distance.
+	n := 10
+	g, err := gen.Cycle(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ExactHittingTimes(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < n; u++ {
+		k := u
+		if n-u < k {
+			k = n - u
+		}
+		want := float64(k * (n - k))
+		if math.Abs(h[u]-want) > 1e-9 {
+			t.Errorf("E_%d(H_0) = %v, want %v", u, h[u], want)
+		}
+	}
+}
+
+func TestExactHittingTimesComplete(t *testing.T) {
+	// On K_n, E_u(H_v) = n−1 for u ≠ v.
+	g, err := gen.Complete(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ExactHittingTimes(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 7; u++ {
+		want := 6.0
+		if u == 3 {
+			want = 0
+		}
+		if math.Abs(h[u]-want) > 1e-9 {
+			t.Errorf("E_%d(H_3) = %v, want %v", u, h[u], want)
+		}
+	}
+}
+
+func TestExactReturnTimeIdentity(t *testing.T) {
+	// E_u(T_u^+) = 2m/d(u) exactly (Section 2.2), on several families.
+	graphs := []*graph.Graph{}
+	if g, err := gen.Lollipop(5, 4); err == nil {
+		graphs = append(graphs, g)
+	}
+	if g, err := gen.Cycle(9); err == nil {
+		graphs = append(graphs, g)
+	}
+	if g, err := gen.CompleteBipartite(3, 5); err == nil {
+		graphs = append(graphs, g)
+	}
+	for gi, g := range graphs {
+		for _, u := range []int{0, g.N() - 1} {
+			got, err := ExactReturnTime(g, u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := float64(2*g.M()) / float64(g.Degree(u))
+			if math.Abs(got-want)/want > 1e-9 {
+				t.Errorf("graph %d vertex %d: return time %v, want %v", gi, u, got, want)
+			}
+		}
+	}
+}
+
+func TestExactCommuteSymmetricParts(t *testing.T) {
+	// Commute time via effective resistance: on a path of length L the
+	// commute time between the ends is 2·m·R = 2·L·L.
+	g := graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	k, err := ExactCommuteTime(g, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k-18) > 1e-9 { // 2·3·3
+		t.Errorf("commute = %v, want 18", k)
+	}
+}
+
+func TestLemma6BoundHolds(t *testing.T) {
+	// E_π(H_v) ≤ 1/((1−λmax)·π_v) with the lazy-gap version on a
+	// non-bipartite graph where λmax = λ2.
+	g, err := gen.RandomRegular(newRand(60), 50, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap, err := spectral.ComputeGap(g, spectral.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap.LambdaMax != gap.Lambda2 {
+		t.Skip("λmax ≠ λ2 on this instance; lemma needs lazification")
+	}
+	piv := float64(g.Degree(0)) / float64(g.DegreeSum())
+	bound := 1 / (gap.Value * piv)
+	got, err := ExactStationaryHitting(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > bound {
+		t.Errorf("E_π(H_v) = %v exceeds Lemma 6 bound %v", got, bound)
+	}
+	if got <= 0 {
+		t.Error("stationary hitting time must be positive")
+	}
+}
+
+func TestCorollary9ContractionBound(t *testing.T) {
+	// E_π(H_S) ≤ 2m/(d(S)(1−λmax(G))): verify via contraction, which
+	// is how the paper derives it.
+	g, err := gen.RandomRegular(newRand(61), 40, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := []int{0, 1, 2}
+	gamma, gid, _ := g.Contract(s)
+	got, err := ExactStationaryHitting(gamma, gid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gapG, err := spectral.ComputeGap(g, spectral.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gapG.LambdaMax != gapG.Lambda2 {
+		t.Skip("needs lazification")
+	}
+	bound := HittingTimeBound(g.M(), g.DegreeOf(s), gapG.Value)
+	if got > bound {
+		t.Errorf("E_π(H_γ) = %v exceeds Corollary 9 bound %v", got, bound)
+	}
+}
+
+func TestMonteCarloMatchesExact(t *testing.T) {
+	// The package walk estimators agree with the exact solver.
+	g, err := gen.RandomRegular(newRand(62), 20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ExactHittingTimes(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := walk.EstimateHittingTime(g, newRand(63), 0, 5, 20000, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mc-h[0])/h[0] > 0.1 {
+		t.Errorf("MC hitting %v vs exact %v (>10%% off)", mc, h[0])
+	}
+}
+
+func TestExactCoverTimePath(t *testing.T) {
+	// Path 0-1-2 from an end: cover time is E[T] for reaching the far
+	// end = hitting time of vertex 2 from 0 = 4 (k(n-k) logic for path:
+	// exact value for P3 from end is 4).
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	got, err := ExactCoverTimeSRW(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-4) > 1e-9 {
+		t.Errorf("cover(P3 from end) = %v, want 4", got)
+	}
+	// From the middle: first step reaches an end (symmetric), then the
+	// walk must hit the far end from that end: 1 + E_0(H_2) = 1 + 4.
+	mid, err := ExactCoverTimeSRW(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mid-5) > 1e-9 {
+		t.Errorf("cover(P3 from middle) = %v, want 5", mid)
+	}
+}
+
+func TestExactCoverTimeTriangleAndK4(t *testing.T) {
+	// K3 from any vertex: cover = 1 + (coupon with 2 left)... known:
+	// E = 1 + 1·(1/2·1 + 1/2·(1+E')) where E' = expected to hit last =
+	// 2... The closed form for K_n cover is (n−1)·H_{n−1}.
+	k3, err := gen.Complete(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExactCoverTimeSRW(k3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * (1 + 0.5) // (n−1)·H_{n−1} = 2·(1+1/2) = 3
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("cover(K3) = %v, want %v", got, want)
+	}
+	k4, err := gen.Complete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got4, err := ExactCoverTimeSRW(k4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want4 := 3 * (1 + 0.5 + 1.0/3) // 5.5
+	if math.Abs(got4-want4) > 1e-9 {
+		t.Errorf("cover(K4) = %v, want %v", got4, want4)
+	}
+}
+
+func TestExactCoverTimeMatchesMonteCarlo(t *testing.T) {
+	g, err := gen.RandomRegular(newRand(64), 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ExactCoverTimeSRW(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 4000
+	var total int64
+	for i := 0; i < trials; i++ {
+		w := walk.NewSimple(g, newRand(int64(1000+i)), 0)
+		s, err := walk.VertexCoverSteps(w, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += s
+	}
+	mc := float64(total) / trials
+	if math.Abs(mc-exact)/exact > 0.05 {
+		t.Errorf("MC cover %v vs exact %v (>5%% off)", mc, exact)
+	}
+}
+
+func TestExactGuards(t *testing.T) {
+	if _, err := ExactCoverTimeSRW(mustBig(t, 16), 0); err == nil {
+		t.Error("n>14 should be refused")
+	}
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}})
+	if _, err := ExactHittingTimes(g, 0); err == nil {
+		t.Error("disconnected graph should be refused")
+	}
+	c, err := gen.Cycle(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExactHittingTimes(c, 9); err == nil {
+		t.Error("target out of range should be refused")
+	}
+	if _, err := ExactCoverTimeSRW(g, 0); err == nil {
+		t.Error("disconnected cover should be refused")
+	}
+}
+
+func mustBig(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g, err := gen.Cycle(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/walk"
+)
+
+// ErrInvariant reports a violation of one of the paper's structural
+// observations during a verified E-process run. On even-degree graphs
+// this indicates an implementation bug; on odd-degree graphs violations
+// of Observation 10 are expected (Section 5).
+var ErrInvariant = errors.New("core: E-process invariant violated")
+
+// VerifiedRun drives an E-process until both vertex and edge cover (or
+// the step budget), verifying online:
+//
+//	Observation 10 — every blue phase ends at the vertex it started at;
+//	Observation 11 — between blue phases all blue degrees are even
+//	                 (checked at phase boundaries on sampled vertices);
+//	Observation 12 — blue transitions never exceed m.
+//
+// It returns the cover times and final phase statistics. The checks
+// require an even-degree graph; VerifiedRun refuses others.
+func VerifiedRun(e *walk.EProcess, maxSteps int64) (walk.CoverTimes, walk.Stats, error) {
+	g := e.Graph()
+	if !g.IsEvenDegree() {
+		return walk.CoverTimes{}, walk.Stats{}, errors.New("core: VerifiedRun requires an even-degree graph")
+	}
+	n, m := g.N(), g.M()
+	if maxSteps <= 0 {
+		maxSteps = int64(n+m) * 100000
+	}
+	seenV := make([]bool, n)
+	seenV[e.Current()] = true
+	seenE := make([]bool, m)
+	leftV, leftE := n-1, m
+
+	var ct walk.CoverTimes
+	var steps int64
+	bluePhaseStart := -1
+
+	for leftV > 0 || leftE > 0 {
+		if steps >= maxSteps {
+			return ct, e.Stats(), fmt.Errorf("%w: step budget exhausted (%d vertices, %d edges left)",
+				walk.ErrStepBudget, leftV, leftE)
+		}
+		before := e.Current()
+		id, v := e.Step()
+		steps++
+
+		switch e.Phase() {
+		case walk.PhaseBlue:
+			if bluePhaseStart == -1 {
+				bluePhaseStart = before
+			}
+			if e.BlueDegree(v) == 0 {
+				// Blue phase complete: Observation 10.
+				if v != bluePhaseStart {
+					return ct, e.Stats(), fmt.Errorf(
+						"%w: blue phase started at %d ended at %d (Observation 10)",
+						ErrInvariant, bluePhaseStart, v)
+				}
+				bluePhaseStart = -1
+				// Observation 11 at the phase boundary: blue degrees of
+				// the phase's endpoints are even; a full scan would be
+				// O(n) per phase, so check the two endpoints plus the
+				// neighbours of v.
+				if err := checkEvenBlue(e, v); err != nil {
+					return ct, e.Stats(), err
+				}
+			}
+		case walk.PhaseRed:
+			if bluePhaseStart != -1 {
+				return ct, e.Stats(), fmt.Errorf(
+					"%w: red step at %d while blue phase from %d unfinished (Observation 10)",
+					ErrInvariant, before, bluePhaseStart)
+			}
+		}
+
+		if st := e.Stats(); st.BlueSteps > int64(m) {
+			return ct, st, fmt.Errorf("%w: %d blue steps exceed m=%d (Observation 12)",
+				ErrInvariant, st.BlueSteps, m)
+		}
+
+		if leftV > 0 && !seenV[v] {
+			seenV[v] = true
+			leftV--
+			if leftV == 0 {
+				ct.Vertex = steps
+			}
+		}
+		if leftE > 0 && !seenE[id] {
+			seenE[id] = true
+			leftE--
+			if leftE == 0 {
+				ct.Edge = steps
+			}
+		}
+	}
+	return ct, e.Stats(), nil
+}
+
+func checkEvenBlue(e *walk.EProcess, v int) error {
+	g := e.Graph()
+	if e.BlueDegree(v)%2 != 0 {
+		return fmt.Errorf("%w: odd blue degree %d at %d (Observation 11)",
+			ErrInvariant, e.BlueDegree(v), v)
+	}
+	for _, h := range g.Adj(v) {
+		if e.BlueDegree(h.To)%2 != 0 {
+			return fmt.Errorf("%w: odd blue degree %d at neighbour %d (Observation 11)",
+				ErrInvariant, e.BlueDegree(h.To), h.To)
+		}
+	}
+	return nil
+}
+
+// IsolatedStarCenters returns the vertices that are currently centres
+// of isolated blue stars: v is unvisited (full blue degree ≥ 2) and
+// every neighbour's only blue edges are those to v. This is the
+// Section 5 structure {v, w, x, y} on 3-regular graphs.
+func IsolatedStarCenters(e *walk.EProcess) []int {
+	g := e.Graph()
+	var out []int
+	for v := 0; v < g.N(); v++ {
+		d := g.Degree(v)
+		if d < 2 || e.BlueDegree(v) != d {
+			continue
+		}
+		isStar := true
+		for _, h := range g.Adj(v) {
+			if h.To == v {
+				isStar = false // loop: not a star shape
+				break
+			}
+			// Neighbour must have blue degree exactly the multiplicity
+			// of its edges to v (all other incident edges visited).
+			blueToV := 0
+			for _, hh := range g.Adj(h.To) {
+				if !e.EdgeVisited(hh.ID) && hh.To == v {
+					blueToV++
+				}
+			}
+			if e.BlueDegree(h.To) != blueToV {
+				isStar = false
+				break
+			}
+		}
+		if isStar {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// StarStats is the outcome of a star-census run (Section 5 experiment).
+type StarStats struct {
+	// Peak is the largest simultaneous isolated-star population seen at
+	// any red-phase entry.
+	Peak int
+	// EverCenters is the number of distinct vertices that were an
+	// isolated star centre at any sampled moment — the closest
+	// observable to the paper's |I| ≈ n/8 prediction for r = 3.
+	EverCenters int
+	Cover       walk.CoverTimes
+}
+
+// StarCensusRun runs an E-process to edge cover, measuring the
+// isolated-blue-star population at every entry into a red phase. On
+// even-degree graphs blue components are even-degree subgraphs, so
+// stars cannot occur and both counters must be 0.
+func StarCensusRun(e *walk.EProcess, maxSteps int64) (StarStats, error) {
+	g := e.Graph()
+	m := g.M()
+	if maxSteps <= 0 {
+		maxSteps = int64(g.N()+m) * 100000
+	}
+	seenE := make([]bool, m)
+	leftE := m
+	leftV := g.N() - 1
+	seenV := make([]bool, g.N())
+	seenV[e.Current()] = true
+
+	var st StarStats
+	ever := make(map[int]bool)
+	var steps int64
+	lastPhase := walk.Phase(0)
+	for leftE > 0 {
+		if steps >= maxSteps {
+			return st, fmt.Errorf("%w after %d steps", walk.ErrStepBudget, steps)
+		}
+		id, v := e.Step()
+		steps++
+		if p := e.Phase(); p != lastPhase {
+			if p == walk.PhaseRed {
+				centers := IsolatedStarCenters(e)
+				if len(centers) > st.Peak {
+					st.Peak = len(centers)
+				}
+				for _, c := range centers {
+					ever[c] = true
+				}
+			}
+			lastPhase = p
+		}
+		if leftV > 0 && !seenV[v] {
+			seenV[v] = true
+			leftV--
+			if leftV == 0 {
+				st.Cover.Vertex = steps
+			}
+		}
+		if !seenE[id] {
+			seenE[id] = true
+			leftE--
+			if leftE == 0 {
+				st.Cover.Edge = steps
+			}
+		}
+	}
+	st.EverCenters = len(ever)
+	return st, nil
+}

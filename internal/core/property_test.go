@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/walk"
+)
+
+// Property: on any even-degree connected graph, under any rule, the
+// full set of paper invariants holds for the whole run (VerifiedRun
+// checks Observations 10–12 online).
+func TestPropertyInvariantsRandomEvenGraphs(t *testing.T) {
+	rules := []walk.Rule{
+		walk.Uniform{}, walk.LowestEdgeFirst{}, &walk.RoundRobin{}, walk.TowardVisited{},
+	}
+	err := quick.Check(func(seed int64, nRaw, degRaw, ruleRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw%40)*2 + 10 // even n in [10, 88]
+		deg := []int{4, 6}[int(degRaw)%2]
+		if deg >= n {
+			return true
+		}
+		g, err := gen.RandomRegularSW(r, n, deg)
+		if err != nil {
+			return true // infeasible combination; not a failure
+		}
+		rule := rules[int(ruleRaw)%len(rules)]
+		e := walk.NewEProcess(g, r, rule, r.Intn(n))
+		_, st, err := VerifiedRun(e, 0)
+		if err != nil {
+			t.Logf("seed=%d n=%d deg=%d rule=%s: %v", seed, n, deg, rule.Name(), err)
+			return false
+		}
+		return st.BlueSteps == int64(g.M())
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: on even-degree graphs the star census is always zero; on
+// 3-regular graphs the blue walk's star population is non-negative and
+// bounded by n/4.
+func TestPropertyStarCensusBounds(t *testing.T) {
+	err := quick.Check(func(seed int64, odd bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		deg := 4
+		if odd {
+			deg = 3
+		}
+		n := 60
+		g, err := gen.RandomRegularSW(r, n, deg)
+		if err != nil {
+			return true
+		}
+		e := walk.NewEProcess(g, r, nil, 0)
+		st, err := StarCensusRun(e, 0)
+		if err != nil {
+			return false
+		}
+		if !odd {
+			return st.Peak == 0 && st.EverCenters == 0
+		}
+		return st.Peak >= 0 && st.Peak <= n/4 && st.EverCenters <= n
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ℓ-goodness never falls below the girth and LGoodVertex is
+// monotone under horizon growth.
+func TestPropertyLGoodHorizonMonotone(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g, err := gen.RandomRegularSW(r, 40, 4)
+		if err != nil {
+			return true
+		}
+		lo, err := LGoodGraph(g, 4)
+		if err != nil {
+			return false
+		}
+		hi, err := LGoodGraph(g, 8)
+		if err != nil {
+			return false
+		}
+		// A deeper horizon can only refine the value: if the shallow
+		// result was exact it must agree; a shallow lower bound must
+		// not exceed the deeper value.
+		if lo.Exact {
+			return hi.Ell == lo.Ell
+		}
+		return hi.Ell >= lo.Ell
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: exact hitting times are symmetric on vertex-transitive
+// graphs (cycles): E_u(H_v) depends only on distance.
+func TestPropertyHittingSymmetryOnCycles(t *testing.T) {
+	err := quick.Check(func(nRaw uint8) bool {
+		n := int(nRaw%20) + 5
+		g, err := gen.Cycle(n)
+		if err != nil {
+			return false
+		}
+		h0, err := ExactHittingTimes(g, 0)
+		if err != nil {
+			return false
+		}
+		h1, err := ExactHittingTimes(g, 1)
+		if err != nil {
+			return false
+		}
+		// Rotation invariance: E_{1+k}(H_1) = E_k(H_0).
+		for k := 0; k < n; k++ {
+			if diff := h1[(1+k)%n] - h0[k]; diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,28 @@
+package core
+
+import "repro/internal/graph"
+
+// IsTreeLike reports whether the ball of the given radius around v
+// induces a tree — the "tree-like to some fixed depth" hypothesis of
+// the Section 5 star argument (a vertex on no short cycle).
+func IsTreeLike(g *graph.Graph, v, radius int) bool {
+	ball, _ := g.BallAround(v, radius)
+	sub, _ := g.InducedSubgraph(ball)
+	// A connected graph is a tree iff m = n − 1; the ball is connected
+	// by construction.
+	return sub.M() == sub.N()-1
+}
+
+// TreeLikeFraction returns the fraction of vertices that are tree-like
+// to the given radius. The Section 5 heuristic needs this fraction to
+// be 1 − o(1), which holds whp for random regular graphs at constant
+// radius (short cycles are Poisson-few).
+func TreeLikeFraction(g *graph.Graph, radius int) float64 {
+	count := 0
+	for v := 0; v < g.N(); v++ {
+		if IsTreeLike(g, v, radius) {
+			count++
+		}
+	}
+	return float64(count) / float64(g.N())
+}

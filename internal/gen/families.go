@@ -1,0 +1,216 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Cycle returns the n-cycle C_n (n ≥ 3), the minimal connected
+// 2-regular even-degree graph. Its girth equals n, making long cycles
+// the extreme case for the Theorem 3 girth dependence.
+func Cycle(n int) (*graph.Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("gen: cycle needs n >= 3, got %d", n)
+	}
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		if err := g.AddEdge(i, (i+1)%n); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// DoubleCycle returns the 4-regular multigraph on n vertices formed by
+// doubling every edge of C_n. It is the smallest even-degree "bad
+// expander" family: λmax → 1 as n grows, exercising the eigenvalue-gap
+// term of Theorem 1.
+func DoubleCycle(n int) (*graph.Graph, error) {
+	g, err := Cycle(n)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		if err := g.AddEdge(i, (i+1)%n); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) (*graph.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gen: complete graph needs n >= 1, got %d", n)
+	}
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if err := g.AddEdge(i, j); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// CompleteBipartite returns K_{a,b}: vertices 0..a-1 on one side,
+// a..a+b-1 on the other. Bipartite, so λn = -1 for the simple walk —
+// the canonical reason the paper makes walks lazy.
+func CompleteBipartite(a, b int) (*graph.Graph, error) {
+	if a < 1 || b < 1 {
+		return nil, fmt.Errorf("gen: K_{a,b} needs a,b >= 1, got %d,%d", a, b)
+	}
+	g := graph.New(a + b)
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			if err := g.AddEdge(i, a+j); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// Hypercube returns the r-dimensional hypercube H_r on n = 2^r vertices,
+// with vertices adjacent iff their labels differ in one bit. This is the
+// paper's Section 1 case study: the E-process covers its edges in
+// Θ(n log n) versus Θ(n log² n) for the simple random walk.
+func Hypercube(r int) (*graph.Graph, error) {
+	if r < 1 || r > 26 {
+		return nil, fmt.Errorf("gen: hypercube dimension %d out of [1,26]", r)
+	}
+	n := 1 << uint(r)
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		for b := 0; b < r; b++ {
+			w := v ^ (1 << uint(b))
+			if v < w {
+				if err := g.AddEdge(v, w); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// Torus returns the rows×cols toroidal grid: 4-regular (even degree)
+// when both dimensions exceed 2. Avin & Krishnamachari's RWC(d)
+// experiments used this family.
+func Torus(rows, cols int) (*graph.Graph, error) {
+	if rows < 3 || cols < 3 {
+		return nil, fmt.Errorf("gen: torus needs both dims >= 3, got %dx%d", rows, cols)
+	}
+	g := graph.New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if err := g.AddEdge(id(r, c), id((r+1)%rows, c)); err != nil {
+				return nil, err
+			}
+			if err := g.AddEdge(id(r, c), id(r, (c+1)%cols)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// Circulant returns the circulant graph C_n(offsets): vertex i adjacent
+// to i±s mod n for each s in offsets. With distinct offsets not equal to
+// n/2, the graph is 2·len(offsets)-regular — an easy deterministic
+// even-degree family with tunable girth.
+func Circulant(n int, offsets []int) (*graph.Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("gen: circulant needs n >= 3, got %d", n)
+	}
+	seen := make(map[int]bool, len(offsets))
+	for _, s := range offsets {
+		if s <= 0 || s >= n {
+			return nil, fmt.Errorf("gen: circulant offset %d out of (0,%d)", s, n)
+		}
+		if 2*s == n {
+			return nil, fmt.Errorf("gen: circulant offset n/2 = %d gives odd degree", s)
+		}
+		canon := s
+		if n-s < s {
+			canon = n - s
+		}
+		if seen[canon] {
+			return nil, fmt.Errorf("gen: duplicate circulant offset %d", s)
+		}
+		seen[canon] = true
+	}
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		for _, s := range offsets {
+			w := (v + s) % n
+			if err := g.AddEdge(v, w); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// Lollipop returns the lollipop graph: a clique on cliqueN vertices with
+// a path of pathN further vertices attached to clique vertex 0. It is
+// the classical worst case for random-walk hitting times, used by the
+// lower-bound demonstrations.
+func Lollipop(cliqueN, pathN int) (*graph.Graph, error) {
+	if cliqueN < 3 || pathN < 1 {
+		return nil, fmt.Errorf("gen: lollipop needs clique >= 3 and path >= 1, got %d,%d", cliqueN, pathN)
+	}
+	g := graph.New(cliqueN + pathN)
+	for i := 0; i < cliqueN; i++ {
+		for j := i + 1; j < cliqueN; j++ {
+			if err := g.AddEdge(i, j); err != nil {
+				return nil, err
+			}
+		}
+	}
+	prev := 0
+	for i := 0; i < pathN; i++ {
+		next := cliqueN + i
+		if err := g.AddEdge(prev, next); err != nil {
+			return nil, err
+		}
+		prev = next
+	}
+	return g, nil
+}
+
+// Margulis returns the Margulis expander on n = k² vertices: vertex
+// (x,y) of Z_k × Z_k is joined to (x+y, y), (x−y, y), (x, y+x) and
+// (x, y−x) (mod k). The result is an 8-regular even-degree multigraph
+// family with a uniform positive spectral gap — a deterministic
+// stand-in for the Lubotzky–Phillips–Sarnak Ramanujan graphs the paper
+// cites for high-girth expanders.
+func Margulis(k int) (*graph.Graph, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("gen: Margulis needs k >= 2, got %d", k)
+	}
+	n := k * k
+	g := graph.New(n)
+	id := func(x, y int) int { return ((x%k+k)%k)*k + ((y%k + k) % k) }
+	for x := 0; x < k; x++ {
+		for y := 0; y < k; y++ {
+			v := id(x, y)
+			if err := g.AddEdge(v, id(x+y, y)); err != nil {
+				return nil, err
+			}
+			if err := g.AddEdge(v, id(x, y+x)); err != nil {
+				return nil, err
+			}
+			if err := g.AddEdge(v, id(x+y+1, y)); err != nil {
+				return nil, err
+			}
+			if err := g.AddEdge(v, id(x, y+x+1)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}

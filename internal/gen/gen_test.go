@@ -1,0 +1,423 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestRandomRegularBasic(t *testing.T) {
+	for _, tc := range []struct{ n, r int }{{10, 3}, {20, 4}, {50, 6}, {16, 5}} {
+		g, err := RandomRegular(newRand(1), tc.n, tc.r)
+		if err != nil {
+			t.Fatalf("n=%d r=%d: %v", tc.n, tc.r, err)
+		}
+		assertRegularSimpleConnected(t, g, tc.n, tc.r)
+	}
+}
+
+func TestRandomRegularSWBasic(t *testing.T) {
+	for _, tc := range []struct{ n, r int }{{10, 3}, {100, 4}, {200, 6}, {64, 7}} {
+		g, err := RandomRegularSW(newRand(2), tc.n, tc.r)
+		if err != nil {
+			t.Fatalf("n=%d r=%d: %v", tc.n, tc.r, err)
+		}
+		assertRegularSimpleConnected(t, g, tc.n, tc.r)
+	}
+}
+
+func assertRegularSimpleConnected(t *testing.T, g *graph.Graph, n, r int) {
+	t.Helper()
+	if g.N() != n {
+		t.Fatalf("N = %d, want %d", g.N(), n)
+	}
+	if d, ok := g.IsRegular(); !ok || d != r {
+		t.Fatalf("IsRegular = (%d,%v), want (%d,true)", d, ok, r)
+	}
+	if !g.IsSimple() {
+		t.Fatal("graph not simple")
+	}
+	if !g.IsConnected() {
+		t.Fatal("graph not connected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomRegularErrors(t *testing.T) {
+	cases := []struct{ n, r int }{
+		{0, 3},  // no vertices
+		{5, 0},  // zero degree
+		{5, 5},  // r >= n
+		{5, 3},  // odd n·r
+		{-1, 2}, // negative n
+		{4, -2}, // negative r
+	}
+	for _, tc := range cases {
+		if _, err := RandomRegular(newRand(1), tc.n, tc.r); err == nil {
+			t.Errorf("n=%d r=%d: expected error", tc.n, tc.r)
+		}
+		if _, err := RandomRegularSW(newRand(1), tc.n, tc.r); err == nil {
+			t.Errorf("SW n=%d r=%d: expected error", tc.n, tc.r)
+		}
+	}
+}
+
+func TestRandomRegularDeterminism(t *testing.T) {
+	a, err := RandomRegularSW(newRand(7), 60, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomRegularSW(newRand(7), 60, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ae, be := a.Edges(), b.Edges()
+	if len(ae) != len(be) {
+		t.Fatal("edge counts differ for identical seeds")
+	}
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ae[i], be[i])
+		}
+	}
+}
+
+func TestRandomDegreeSequence(t *testing.T) {
+	degrees := []int{4, 4, 4, 6, 6, 4, 4, 4, 4, 4}
+	g, err := RandomDegreeSequence(newRand(3), degrees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, want := range degrees {
+		if g.Degree(v) != want {
+			t.Errorf("degree(%d) = %d, want %d", v, g.Degree(v), want)
+		}
+	}
+	if !g.IsSimple() || !g.IsConnected() {
+		t.Error("degree-sequence graph not simple connected")
+	}
+	if !g.IsEvenDegree() {
+		t.Error("even degree sequence produced odd-degree graph")
+	}
+}
+
+func TestRandomDegreeSequenceErrors(t *testing.T) {
+	if _, err := RandomDegreeSequence(newRand(1), nil); err == nil {
+		t.Error("empty sequence should fail")
+	}
+	if _, err := RandomDegreeSequence(newRand(1), []int{3, 3, 3}); err == nil {
+		t.Error("odd sum should fail")
+	}
+	if _, err := RandomDegreeSequence(newRand(1), []int{5, 1, 1, 1}); err == nil {
+		t.Error("degree >= n should fail")
+	}
+	if _, err := RandomDegreeSequence(newRand(1), []int{-1, 1}); err == nil {
+		t.Error("negative degree should fail")
+	}
+}
+
+func TestCycle(t *testing.T) {
+	g, err := Cycle(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := g.IsRegular(); !ok || d != 2 {
+		t.Error("cycle not 2-regular")
+	}
+	if g.Girth() != 7 {
+		t.Errorf("C7 girth = %d", g.Girth())
+	}
+	if _, err := Cycle(2); err == nil {
+		t.Error("C2 should fail")
+	}
+}
+
+func TestDoubleCycle(t *testing.T) {
+	g, err := DoubleCycle(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := g.IsRegular(); !ok || d != 4 {
+		t.Errorf("double cycle degree = %d, want 4", d)
+	}
+	if g.IsSimple() {
+		t.Error("double cycle should have parallel edges")
+	}
+	if !g.IsEvenDegree() {
+		t.Error("double cycle should be even degree")
+	}
+	if g.Girth() != 2 {
+		t.Errorf("double cycle girth = %d, want 2", g.Girth())
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g, err := Complete(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 15 {
+		t.Errorf("K6 edges = %d, want 15", g.M())
+	}
+	if d, ok := g.IsRegular(); !ok || d != 5 {
+		t.Error("K6 not 5-regular")
+	}
+}
+
+func TestCompleteBipartite(t *testing.T) {
+	g, err := CompleteBipartite(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 7 || g.M() != 12 {
+		t.Fatalf("K_{3,4}: n=%d m=%d", g.N(), g.M())
+	}
+	if !g.IsBipartite() {
+		t.Error("K_{3,4} should be bipartite")
+	}
+	if g.Girth() != 4 {
+		t.Errorf("K_{3,4} girth = %d, want 4", g.Girth())
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	g, err := Hypercube(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 16 {
+		t.Fatalf("H4 n = %d", g.N())
+	}
+	if d, ok := g.IsRegular(); !ok || d != 4 {
+		t.Errorf("H4 degree = %d, want 4", d)
+	}
+	if g.M() != 32 {
+		t.Errorf("H4 m = %d, want 32", g.M())
+	}
+	if !g.IsBipartite() {
+		t.Error("hypercube should be bipartite")
+	}
+	if g.Girth() != 4 {
+		t.Errorf("H4 girth = %d, want 4", g.Girth())
+	}
+	if g.Diameter() != 4 {
+		t.Errorf("H4 diameter = %d, want 4", g.Diameter())
+	}
+	if _, err := Hypercube(0); err == nil {
+		t.Error("H0 should fail")
+	}
+	if _, err := Hypercube(30); err == nil {
+		t.Error("H30 should fail (too large)")
+	}
+}
+
+func TestTorus(t *testing.T) {
+	g, err := Torus(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 20 || g.M() != 40 {
+		t.Fatalf("torus 4x5: n=%d m=%d", g.N(), g.M())
+	}
+	if d, ok := g.IsRegular(); !ok || d != 4 {
+		t.Errorf("torus degree = %d, want 4", d)
+	}
+	if !g.IsEvenDegree() {
+		t.Error("torus should be even degree")
+	}
+	if !g.IsConnected() {
+		t.Error("torus should be connected")
+	}
+	if _, err := Torus(2, 5); err == nil {
+		t.Error("2-row torus should fail (parallel edges)")
+	}
+}
+
+func TestCirculant(t *testing.T) {
+	g, err := Circulant(12, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := g.IsRegular(); !ok || d != 4 {
+		t.Errorf("circulant degree = %d, want 4", d)
+	}
+	if !g.IsEvenDegree() || !g.IsConnected() {
+		t.Error("circulant should be even degree connected")
+	}
+	if _, err := Circulant(10, []int{5}); err == nil {
+		t.Error("offset n/2 should fail")
+	}
+	if _, err := Circulant(10, []int{0}); err == nil {
+		t.Error("offset 0 should fail")
+	}
+	if _, err := Circulant(10, []int{3, 7}); err == nil {
+		t.Error("duplicate offsets (3 and n-3) should fail")
+	}
+}
+
+func TestLollipop(t *testing.T) {
+	g, err := Lollipop(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 8 {
+		t.Fatalf("n = %d, want 8", g.N())
+	}
+	if g.M() != 13 {
+		t.Errorf("m = %d, want 13", g.M())
+	}
+	if !g.IsConnected() {
+		t.Error("lollipop should be connected")
+	}
+	if g.Degree(7) != 1 {
+		t.Errorf("path end degree = %d, want 1", g.Degree(7))
+	}
+	if _, err := Lollipop(2, 1); err == nil {
+		t.Error("tiny clique should fail")
+	}
+}
+
+func TestMargulis(t *testing.T) {
+	g, err := Margulis(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 25 {
+		t.Fatalf("n = %d, want 25", g.N())
+	}
+	if d, ok := g.IsRegular(); !ok || d != 8 {
+		t.Errorf("Margulis degree = %d, want 8", d)
+	}
+	if !g.IsEvenDegree() {
+		t.Error("Margulis should be even degree")
+	}
+	if !g.IsConnected() {
+		t.Error("Margulis should be connected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+	if _, err := Margulis(1); err == nil {
+		t.Error("k=1 should fail")
+	}
+}
+
+func TestRandomGeometric(t *testing.T) {
+	g, err := RandomGeometric(newRand(11), 100, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 100 {
+		t.Fatal("wrong vertex count")
+	}
+	if g.M() == 0 {
+		t.Error("radius 0.2 with 100 points should produce edges")
+	}
+	if !g.IsSimple() {
+		t.Error("RGG should be simple")
+	}
+	if _, err := RandomGeometric(newRand(1), 0, 0.1); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := RandomGeometric(newRand(1), 5, 0); err == nil {
+		t.Error("radius=0 should fail")
+	}
+}
+
+func TestRandomGeometricConnected(t *testing.T) {
+	g, err := RandomGeometricConnected(newRand(5), 80, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsConnected() {
+		t.Error("should be connected")
+	}
+	single, err := RandomGeometricConnected(newRand(5), 1, 0)
+	if err != nil || single.N() != 1 {
+		t.Error("n=1 should return trivial graph")
+	}
+}
+
+func TestRGGGridMatchesBruteForce(t *testing.T) {
+	// The cell-grid neighbour search must agree with O(n²) brute force.
+	r := newRand(42)
+	n, radius := 60, 0.25
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Float64()
+		ys[i] = r.Float64()
+	}
+	// Re-generate with the same point stream by replaying the seed.
+	g, err := RandomGeometric(newRand(42), n, radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+			if dx*dx+dy*dy <= radius*radius {
+				want++
+			}
+		}
+	}
+	if g.M() != want {
+		t.Errorf("grid search found %d edges, brute force %d", g.M(), want)
+	}
+}
+
+func TestPairingModelUniformSmall(t *testing.T) {
+	// On n=4, r=3 the only simple 3-regular graph is K4; the generator
+	// must always return it.
+	for seed := int64(0); seed < 5; seed++ {
+		g, err := RandomRegular(newRand(seed), 4, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.M() != 6 || !g.IsSimple() {
+			t.Fatal("n=4 r=3 must be K4")
+		}
+	}
+}
+
+func TestRandomDegreeSequenceSW(t *testing.T) {
+	degrees := make([]int, 120)
+	for i := range degrees {
+		switch {
+		case i < 60:
+			degrees[i] = 4
+		case i < 96:
+			degrees[i] = 6
+		default:
+			degrees[i] = 8
+		}
+	}
+	g, err := RandomDegreeSequenceSW(newRand(8), degrees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, want := range degrees {
+		if g.Degree(v) != want {
+			t.Fatalf("degree(%d) = %d, want %d", v, g.Degree(v), want)
+		}
+	}
+	if !g.IsSimple() || !g.IsConnected() || !g.IsEvenDegree() {
+		t.Error("SW degree-sequence graph malformed")
+	}
+	// Error paths.
+	if _, err := RandomDegreeSequenceSW(newRand(1), nil); err == nil {
+		t.Error("empty sequence should fail")
+	}
+	if _, err := RandomDegreeSequenceSW(newRand(1), []int{3, 3, 3}); err == nil {
+		t.Error("odd sum should fail")
+	}
+	if _, err := RandomDegreeSequenceSW(newRand(1), []int{5, 1, 1, 1}); err == nil {
+		t.Error("degree >= n should fail")
+	}
+}

@@ -1,0 +1,149 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/spectral"
+)
+
+func TestQuaternionSolutionCount(t *testing.T) {
+	// Jacobi: exactly p+1 solutions with a > 0 odd, b,c,d even.
+	for _, p := range []int{5, 13, 17, 29} {
+		sols := quaternionSolutions(p)
+		if len(sols) != p+1 {
+			t.Errorf("p=%d: %d solutions, want %d", p, len(sols), p+1)
+		}
+		for _, s := range sols {
+			if s[0] <= 0 || s[0]%2 == 0 {
+				t.Errorf("p=%d: a=%d not positive odd", p, s[0])
+			}
+			if s[1]%2 != 0 || s[2]%2 != 0 || s[3]%2 != 0 {
+				t.Errorf("p=%d: b,c,d not all even: %v", p, s)
+			}
+			if s[0]*s[0]+s[1]*s[1]+s[2]*s[2]+s[3]*s[3] != p {
+				t.Errorf("p=%d: %v does not sum to p", p, s)
+			}
+		}
+	}
+}
+
+func TestSqrtMinusOne(t *testing.T) {
+	for _, q := range []int{5, 13, 17, 29} {
+		i, ok := sqrtMinusOne(q)
+		if !ok {
+			t.Fatalf("q=%d: no sqrt(-1)", q)
+		}
+		if i*i%q != q-1 {
+			t.Errorf("q=%d: %d² ≠ −1", q, i)
+		}
+	}
+	if _, ok := sqrtMinusOne(7); ok {
+		t.Error("q=7 ≡ 3 (mod 4) has no sqrt(-1)")
+	}
+}
+
+func TestLegendreSymbol(t *testing.T) {
+	// Squares mod 13: 1,4,9,3,12,10.
+	for _, a := range []int{1, 3, 4, 9, 10, 12} {
+		if LegendreSymbol(a, 13) != 1 {
+			t.Errorf("(%d/13) should be 1", a)
+		}
+	}
+	for _, a := range []int{2, 5, 6, 7, 8, 11} {
+		if LegendreSymbol(a, 13) != -1 {
+			t.Errorf("(%d/13) should be -1", a)
+		}
+	}
+	if LegendreSymbol(13, 13) != 0 {
+		t.Error("(0/13) should be 0")
+	}
+}
+
+func TestLPS513(t *testing.T) {
+	// p=5, q=13: 5 is a nonresidue mod 13 → PGL(2,13), n = 13·168 =
+	// 2184, bipartite, 6-regular.
+	g, err := LPS(5, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := LPSExpectedOrder(5, 13); g.N() != want {
+		t.Fatalf("n = %d, want %d", g.N(), want)
+	}
+	if d, ok := g.IsRegular(); !ok || d != 6 {
+		t.Errorf("degree = %d, want 6", d)
+	}
+	if !g.IsEvenDegree() {
+		t.Error("LPS(5,·) must be even degree")
+	}
+	if !g.IsConnected() {
+		t.Error("Cayley graph must be connected")
+	}
+	if !g.IsSimple() {
+		t.Error("q > 2√p should give a simple graph")
+	}
+	if !g.IsBipartite() {
+		t.Error("nonresidue case must be bipartite (PGL)")
+	}
+	// High girth: ≥ 2·log_5(13) ≈ 3.2 → at least 4 (bipartite ⇒ even).
+	if girth := g.Girth(); girth < 4 {
+		t.Errorf("girth = %d, want ≥ 4", girth)
+	}
+}
+
+func TestLPS517(t *testing.T) {
+	// p=5, q=17: 5 is a nonresidue mod 17? 5^8 mod 17: check via
+	// LegendreSymbol at runtime; just assert consistency with the
+	// expected-order helper and the Ramanujan bound.
+	g, err := LPS(5, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := LPSExpectedOrder(5, 17); g.N() != want {
+		t.Fatalf("n = %d, want %d", g.N(), want)
+	}
+	if d, ok := g.IsRegular(); !ok || d != 6 {
+		t.Errorf("degree = %d, want 6", d)
+	}
+	// Ramanujan: λ2(adj) ≤ 2√p = 2√5 ≈ 4.472, i.e. λ2(P) ≤ 0.745.
+	l2, err := spectral.Lambda2(g, spectral.Options{Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2 > 2*math.Sqrt(5)/6+1e-6 {
+		t.Errorf("λ2(P) = %v violates the Ramanujan bound %v", l2, 2*math.Sqrt(5)/6)
+	}
+}
+
+func TestLPSParameterValidation(t *testing.T) {
+	cases := [][2]int{
+		{5, 5},  // equal
+		{4, 13}, // p not prime
+		{7, 13}, // p ≡ 3 (mod 4)
+		{5, 9},  // q not prime
+		{13, 5}, // q too small vs 2√p? 5²=25 ≤ 4·13=52 → rejected
+		{5, 3},  // q ≡ 3 (mod 4), also too small
+	}
+	for _, c := range cases {
+		if _, err := LPS(c[0], c[1]); err == nil {
+			t.Errorf("LPS(%d,%d) should fail", c[0], c[1])
+		}
+	}
+}
+
+func TestLPSGirthBeatsRandom(t *testing.T) {
+	// The point of citing LPS: girth grows with q. LPS(5,13) has girth
+	// ≥ 4 while random 6-regular graphs at that size have girth 3 with
+	// overwhelming probability.
+	g, err := LPS(5, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RandomRegularSW(newRand(99), g.N(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Girth() <= 3 && r.Girth() >= g.Girth() {
+		t.Errorf("LPS girth %d not better than random %d", g.Girth(), r.Girth())
+	}
+}

@@ -1,0 +1,86 @@
+package graph
+
+// Contract collapses the vertex set S to a single new vertex γ and
+// returns the resulting multigraph Γ together with the index of γ and
+// the mapping old vertex → new vertex.
+//
+// This is exactly the construction of Section 2.2 ("Visits to Vertex
+// Sets") and Lemma 13: multiple edges and loops are retained, so that
+// d(γ) = d(S) and |E(Γ)| = |E(G)|. Edges with both endpoints in S
+// become loops at γ; edges between S and V\S become parallel edges at γ.
+//
+// Vertices outside S keep their relative order and are renumbered
+// 0..n-|S|-1; γ is the last vertex, index n-|S|.
+func (g *Graph) Contract(s []int) (gamma *Graph, gammaID int, oldToNew []int) {
+	inS := make([]bool, g.N())
+	sSize := 0
+	for _, v := range s {
+		if !inS[v] {
+			inS[v] = true
+			sSize++
+		}
+	}
+	newN := g.N() - sSize + 1
+	gammaID = newN - 1
+	oldToNew = make([]int, g.N())
+	next := 0
+	for v := 0; v < g.N(); v++ {
+		if inS[v] {
+			oldToNew[v] = gammaID
+		} else {
+			oldToNew[v] = next
+			next++
+		}
+	}
+	gamma = New(newN)
+	for _, e := range g.edges {
+		// Loops and parallel edges are retained by construction.
+		if err := gamma.AddEdge(oldToNew[e.U], oldToNew[e.V]); err != nil {
+			panic(err) // mapping is total, cannot happen
+		}
+	}
+	return gamma, gammaID, oldToNew
+}
+
+// SubdivideEdges replaces each edge in ids with a path of two edges
+// through a fresh degree-2 vertex, returning the new graph and the IDs
+// of the inserted vertices (in the order of ids).
+//
+// This is the construction in the proof of Lemma 16: subdividing the 2ℓ
+// edges of a leaf-to-leaf path xPy inserts a set S of 2ℓ degree-2
+// vertices with d(S) = 4ℓ, and visiting any vertex of S corresponds to
+// traversing an edge of xPy in the original graph.
+func (g *Graph) SubdivideEdges(ids []int) (*Graph, []int) {
+	subdivide := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		subdivide[id] = true
+	}
+	h := New(g.N() + len(subdivide))
+	inserted := make([]int, 0, len(subdivide))
+	nextNew := g.N()
+	byID := make(map[int]int, len(subdivide))
+	for id, e := range g.edges {
+		if subdivide[id] {
+			mid := nextNew
+			nextNew++
+			byID[id] = mid
+			must(h.AddEdge(e.U, mid))
+			must(h.AddEdge(mid, e.V))
+		} else {
+			must(h.AddEdge(e.U, e.V))
+		}
+	}
+	for _, id := range ids {
+		if mid, ok := byID[id]; ok {
+			inserted = append(inserted, mid)
+			delete(byID, id) // each edge reported once even if listed twice
+		}
+	}
+	return h, inserted
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

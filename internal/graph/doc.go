@@ -1,0 +1,21 @@
+// Package graph provides the graph substrate used by every walk process
+// and experiment in the repository.
+//
+// The central type is Graph, an undirected multigraph with loops, stored
+// as an edge array plus per-vertex half-edge adjacency lists. Multigraph
+// support is not optional for this paper: the proofs of Lemma 13 and
+// Lemma 16 contract vertex sets to a single vertex "retaining multiple
+// edges and loops", and the analysis machinery here mirrors those
+// constructions exactly (see Contract and SubdivideEdges).
+//
+// Vertices are dense integers 0..N()-1. Edges are dense integers
+// 0..M()-1; each edge knows its two endpoints, and a loop is an edge
+// whose endpoints coincide (contributing 2 to the degree of its vertex,
+// as in standard multigraph degree counting, so that the handshake
+// identity sum(deg) = 2m always holds).
+//
+// The package also provides the structural queries the paper's analysis
+// needs: connectivity, bipartiteness (which decides whether the walk
+// must be made lazy), girth, induced and edge-induced subgraphs,
+// breadth-first distance, and encoding to edge-list and DOT formats.
+package graph

@@ -1,0 +1,67 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := New(5)
+	must(g.AddEdge(0, 1))
+	must(g.AddEdge(1, 2))
+	must(g.AddEdge(2, 2)) // loop survives round trip
+	must(g.AddEdge(0, 1)) // parallel edge survives round trip
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != g.N() || back.M() != g.M() {
+		t.Fatalf("round trip changed size: (%d,%d) -> (%d,%d)", g.N(), g.M(), back.N(), back.M())
+	}
+	for i, e := range g.Edges() {
+		if back.Edge(i) != e {
+			t.Errorf("edge %d: %v != %v", i, back.Edge(i), e)
+		}
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"bad header":     "x y\n",
+		"missing edges":  "3 2\n0 1\n",
+		"bad endpoint":   "3 1\n0 q\n",
+		"range endpoint": "3 1\n0 5\n",
+		"zero vertices":  "0 0\n",
+		"short line":     "2 1\n0\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := New(2)
+	must(g.AddEdge(0, 1))
+	dot := g.DOT("g")
+	for _, want := range []string{"graph g {", "0 -- 1;", "}"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q in:\n%s", want, dot)
+		}
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	g := New(3)
+	must(g.AddEdge(0, 1))
+	if got := g.String(); got != "Graph(n=3, m=1)" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,113 @@
+package graph
+
+import "errors"
+
+// ErrNotEulerian is returned by EulerCircuit when the graph has a
+// vertex of odd degree or the edges are not connected.
+var ErrNotEulerian = errors.New("graph: no Euler circuit (odd degree or disconnected edges)")
+
+// EulerCircuit returns a closed trail through every edge exactly once,
+// starting and ending at start, computed by Hierholzer's algorithm.
+// It exists iff every vertex has even degree and all edges lie in one
+// component — the same structural facts behind the paper's Observation
+// 10 (a blue phase is a partial Hierholzer tour: it leaves each
+// intermediate vertex with even residual blue degree and can only
+// terminate back at its start).
+//
+// The result lists edge IDs in traversal order; vertices can be
+// recovered by walking the IDs from start. Isolated vertices are
+// permitted. For a graph with no edges the circuit is empty.
+func (g *Graph) EulerCircuit(start int) ([]int, error) {
+	if g.M() == 0 {
+		return nil, nil
+	}
+	if !g.IsEvenDegree() {
+		return nil, ErrNotEulerian
+	}
+	if g.Degree(start) == 0 {
+		return nil, ErrNotEulerian
+	}
+	// Edges must form one connected component (ignoring isolated
+	// vertices).
+	label, _ := g.Components()
+	comp := label[start]
+	for _, e := range g.edges {
+		if label[e.U] != comp {
+			return nil, ErrNotEulerian
+		}
+	}
+
+	used := make([]bool, g.M())
+	// next[v] is a cursor into Adj(v) skipping used edges, so the total
+	// scan cost is O(sum of degrees) = O(m).
+	next := make([]int, g.N())
+
+	// Hierholzer with an explicit vertex stack; edge trail is emitted
+	// in reverse completion order, then reversed.
+	type frame struct {
+		v      int
+		inEdge int // edge used to enter v; -1 for the root
+	}
+	stack := []frame{{v: start, inEdge: -1}}
+	trail := make([]int, 0, g.M())
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		adj := g.adj[f.v]
+		advanced := false
+		for next[f.v] < len(adj) {
+			h := adj[next[f.v]]
+			next[f.v]++
+			if used[h.ID] {
+				continue
+			}
+			used[h.ID] = true
+			stack = append(stack, frame{v: h.To, inEdge: h.ID})
+			advanced = true
+			break
+		}
+		if !advanced {
+			if f.inEdge >= 0 {
+				trail = append(trail, f.inEdge)
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if len(trail) != g.M() {
+		// Defensive: should be unreachable given the pre-checks.
+		return nil, ErrNotEulerian
+	}
+	// Reverse into traversal order.
+	for i, j := 0, len(trail)-1; i < j; i, j = i+1, j-1 {
+		trail[i], trail[j] = trail[j], trail[i]
+	}
+	return trail, nil
+}
+
+// VerifyCircuit checks that ids is a closed trail from start using
+// every edge of g exactly once.
+func (g *Graph) VerifyCircuit(start int, ids []int) error {
+	if len(ids) != g.M() {
+		return errors.New("graph: circuit does not use every edge once")
+	}
+	seen := make([]bool, g.M())
+	cur := start
+	for _, id := range ids {
+		if id < 0 || id >= g.M() || seen[id] {
+			return errors.New("graph: circuit repeats or escapes the edge set")
+		}
+		seen[id] = true
+		e := g.edges[id]
+		switch cur {
+		case e.U:
+			cur = e.V
+		case e.V:
+			cur = e.U
+		default:
+			return errors.New("graph: circuit is not a walk")
+		}
+	}
+	if cur != start {
+		return errors.New("graph: circuit does not return to start")
+	}
+	return nil
+}

@@ -1,0 +1,272 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors returned by graph constructors and mutators.
+var (
+	ErrVertexRange = errors.New("graph: vertex out of range")
+	ErrNoVertices  = errors.New("graph: graph must have at least one vertex")
+)
+
+// Edge is an undirected edge between vertices U and V. A loop has U == V.
+type Edge struct {
+	U, V int
+}
+
+// Other returns the endpoint of e that is not x. For a loop it returns x.
+// It panics if x is not an endpoint of e.
+func (e Edge) Other(x int) int {
+	switch x {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	default:
+		panic(fmt.Sprintf("graph: vertex %d is not an endpoint of edge %v", x, e))
+	}
+}
+
+// IsLoop reports whether e is a self-loop.
+func (e Edge) IsLoop() bool { return e.U == e.V }
+
+// Half is a half-edge (dart): the occurrence of edge ID at a vertex,
+// pointing at the opposite endpoint To. A loop at v contributes two
+// halves at v, both with To == v.
+type Half struct {
+	ID int // edge index into the graph's edge array
+	To int // opposite endpoint
+}
+
+// Graph is an undirected multigraph with loops. The zero value is an
+// empty graph with no vertices; use New or NewFromEdges to construct a
+// usable instance.
+type Graph struct {
+	edges []Edge
+	adj   [][]Half
+}
+
+// New returns a graph with n isolated vertices and no edges.
+func New(n int) *Graph {
+	if n <= 0 {
+		panic(ErrNoVertices)
+	}
+	return &Graph{adj: make([][]Half, n)}
+}
+
+// NewFromEdges builds a graph with n vertices and the given edges.
+// Parallel edges and loops are retained.
+func NewFromEdges(n int, edges []Edge) (*Graph, error) {
+	if n <= 0 {
+		return nil, ErrNoVertices
+	}
+	g := New(n)
+	for _, e := range edges {
+		if err := g.AddEdge(e.U, e.V); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// MustFromEdges is NewFromEdges for statically known-valid inputs; it
+// panics on error. Intended for tests and examples.
+func MustFromEdges(n int, edges []Edge) *Graph {
+	g, err := NewFromEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of edges (loops count once).
+func (g *Graph) M() int { return len(g.edges) }
+
+// AddEdge appends an undirected edge {u, v} and returns its edge ID.
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		return fmt.Errorf("%w: edge {%d,%d} in graph of %d vertices", ErrVertexRange, u, v, len(g.adj))
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, Edge{U: u, V: v})
+	g.adj[u] = append(g.adj[u], Half{ID: id, To: v})
+	g.adj[v] = append(g.adj[v], Half{ID: id, To: u})
+	return nil
+}
+
+// Edge returns the endpoints of edge id.
+func (g *Graph) Edge(id int) Edge { return g.edges[id] }
+
+// Edges returns a copy of the edge array.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// Degree returns the degree of v, with each loop counting 2.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Adj returns the half-edge adjacency list of v. The returned slice is
+// owned by the graph and must not be modified.
+func (g *Graph) Adj(v int) []Half { return g.adj[v] }
+
+// Neighbors returns the multiset of neighbours of v in a fresh slice
+// (a vertex adjacent through k parallel edges appears k times; a loop
+// contributes v twice).
+func (g *Graph) Neighbors(v int) []int {
+	out := make([]int, len(g.adj[v]))
+	for i, h := range g.adj[v] {
+		out[i] = h.To
+	}
+	return out
+}
+
+// HasEdge reports whether at least one edge joins u and v.
+func (g *Graph) HasEdge(u, v int) bool {
+	// Scan the shorter list.
+	if len(g.adj[u]) > len(g.adj[v]) {
+		u, v = v, u
+	}
+	for _, h := range g.adj[u] {
+		if h.To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgeMultiplicity returns the number of parallel edges joining u and v.
+// For u == v it returns the number of loops at u.
+func (g *Graph) EdgeMultiplicity(u, v int) int {
+	count := 0
+	for _, h := range g.adj[u] {
+		if h.To == v {
+			count++
+		}
+	}
+	if u == v {
+		count /= 2 // each loop contributes two halves at u
+	}
+	return count
+}
+
+// IsSimple reports whether the graph has no loops and no parallel edges.
+func (g *Graph) IsSimple() bool {
+	seen := make(map[Edge]bool, len(g.edges))
+	for _, e := range g.edges {
+		if e.IsLoop() {
+			return false
+		}
+		key := e
+		if key.U > key.V {
+			key.U, key.V = key.V, key.U
+		}
+		if seen[key] {
+			return false
+		}
+		seen[key] = true
+	}
+	return true
+}
+
+// MinDegree returns the minimum vertex degree.
+func (g *Graph) MinDegree() int {
+	min := g.Degree(0)
+	for v := 1; v < g.N(); v++ {
+		if d := g.Degree(v); d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// MaxDegree returns the maximum vertex degree.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// IsRegular reports whether every vertex has the same degree, returning
+// that degree when true.
+func (g *Graph) IsRegular() (int, bool) {
+	d := g.Degree(0)
+	for v := 1; v < g.N(); v++ {
+		if g.Degree(v) != d {
+			return 0, false
+		}
+	}
+	return d, true
+}
+
+// IsEvenDegree reports whether every vertex has even degree — the
+// structural hypothesis of the paper's Theorem 1 and Observation 10.
+func (g *Graph) IsEvenDegree() bool {
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v)%2 != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// DegreeSum returns the sum of all vertex degrees (= 2*M()).
+func (g *Graph) DegreeSum() int {
+	total := 0
+	for v := 0; v < g.N(); v++ {
+		total += g.Degree(v)
+	}
+	return total
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		edges: make([]Edge, len(g.edges)),
+		adj:   make([][]Half, len(g.adj)),
+	}
+	copy(c.edges, g.edges)
+	for v, hs := range g.adj {
+		c.adj[v] = make([]Half, len(hs))
+		copy(c.adj[v], hs)
+	}
+	return c
+}
+
+// Validate checks internal consistency: adjacency matches the edge
+// array, and the handshake identity sum(deg) = 2m holds.
+func (g *Graph) Validate() error {
+	if len(g.adj) == 0 {
+		return ErrNoVertices
+	}
+	if got, want := g.DegreeSum(), 2*g.M(); got != want {
+		return fmt.Errorf("graph: handshake violated: degree sum %d != 2m = %d", got, want)
+	}
+	halves := 0
+	for v, hs := range g.adj {
+		for _, h := range hs {
+			if h.ID < 0 || h.ID >= len(g.edges) {
+				return fmt.Errorf("graph: vertex %d references edge %d out of range", v, h.ID)
+			}
+			e := g.edges[h.ID]
+			if (e.U != v && e.V != v) || e.Other(v) != h.To {
+				return fmt.Errorf("graph: half-edge %+v at vertex %d inconsistent with edge %+v", h, v, e)
+			}
+			halves++
+		}
+	}
+	if halves != 2*g.M() {
+		return fmt.Errorf("graph: %d half-edges for %d edges", halves, g.M())
+	}
+	return nil
+}

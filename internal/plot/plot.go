@@ -1,0 +1,163 @@
+// Package plot renders small ASCII scatter/line charts for terminal
+// output — enough to draw Figure 1 (normalised cover time vs n, one
+// glyph per degree) the way the paper presents it, without any
+// graphics dependency.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name   string
+	Glyph  rune
+	Xs, Ys []float64
+}
+
+// Chart is an ASCII chart specification.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area columns (default 64)
+	Height int // plot area rows (default 20)
+	// LogX plots x on a log10 scale (Figure 1 spans 4k…500k).
+	LogX   bool
+	Series []Series
+}
+
+// Render writes the chart to w.
+func (c Chart) Render(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return errors.New("plot: no series")
+	}
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 20
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.Xs) != len(s.Ys) {
+			return fmt.Errorf("plot: series %q has mismatched lengths", s.Name)
+		}
+		for i := range s.Xs {
+			x := s.Xs[i]
+			if c.LogX {
+				if x <= 0 {
+					return fmt.Errorf("plot: series %q has non-positive x with LogX", s.Name)
+				}
+				x = math.Log10(x)
+			}
+			if x < xmin {
+				xmin = x
+			}
+			if x > xmax {
+				xmax = x
+			}
+			if s.Ys[i] < ymin {
+				ymin = s.Ys[i]
+			}
+			if s.Ys[i] > ymax {
+				ymax = s.Ys[i]
+			}
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return errors.New("plot: empty series")
+	}
+	// Pad degenerate ranges.
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// Leave headroom so top points are visible.
+	ymax += (ymax - ymin) * 0.05
+	ymin -= (ymax - ymin) * 0.05
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = make([]rune, width)
+		for col := range grid[r] {
+			grid[r][col] = ' '
+		}
+	}
+	for _, s := range c.Series {
+		glyph := s.Glyph
+		if glyph == 0 {
+			glyph = '*'
+		}
+		for i := range s.Xs {
+			x := s.Xs[i]
+			if c.LogX {
+				x = math.Log10(x)
+			}
+			col := int((x - xmin) / (xmax - xmin) * float64(width-1))
+			row := int((s.Ys[i] - ymin) / (ymax - ymin) * float64(height-1))
+			rr := height - 1 - row
+			if rr >= 0 && rr < height && col >= 0 && col < width {
+				grid[rr][col] = glyph
+			}
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yTop := fmt.Sprintf("%.3g", ymax)
+	yBot := fmt.Sprintf("%.3g", ymin)
+	pad := len(yTop)
+	if len(yBot) > pad {
+		pad = len(yBot)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", pad)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", pad, yTop)
+		case height - 1:
+			label = fmt.Sprintf("%*s", pad, yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", width))
+	xMinLabel := fmt.Sprintf("%.3g", unlog(xmin, c.LogX))
+	xMaxLabel := fmt.Sprintf("%.3g", unlog(xmax, c.LogX))
+	gap := width - len(xMinLabel) - len(xMaxLabel)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", pad), xMinLabel, strings.Repeat(" ", gap), xMaxLabel)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s\n", strings.Repeat(" ", pad), c.XLabel, c.YLabel)
+	}
+	legend := make([]string, 0, len(c.Series))
+	for _, s := range c.Series {
+		glyph := s.Glyph
+		if glyph == 0 {
+			glyph = '*'
+		}
+		legend = append(legend, fmt.Sprintf("%c %s", glyph, s.Name))
+	}
+	fmt.Fprintf(&b, "%s  legend: %s\n", strings.Repeat(" ", pad), strings.Join(legend, "  "))
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func unlog(x float64, logged bool) float64 {
+	if logged {
+		return math.Pow(10, x)
+	}
+	return x
+}

@@ -1,0 +1,92 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	c := Chart{
+		Title:  "demo",
+		XLabel: "n",
+		YLabel: "cover/n",
+		Width:  40,
+		Height: 10,
+		Series: []Series{
+			{Name: "d=4", Glyph: '4', Xs: []float64{1, 2, 3, 4}, Ys: []float64{2, 2, 2, 2}},
+			{Name: "d=3", Glyph: '3', Xs: []float64{1, 2, 3, 4}, Ys: []float64{5, 6, 7, 8}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "legend: 4 d=4  3 d=3", "x: n   y: cover/n", "3", "4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The flat series must occupy a lower row than the growing one's
+	// last point.
+	lines := strings.Split(out, "\n")
+	row3, row4 := -1, -1
+	for i, line := range lines {
+		if strings.ContainsRune(line, '3') && strings.Contains(line, "|") && row3 == -1 {
+			row3 = i
+		}
+		if strings.ContainsRune(line, '4') && strings.Contains(line, "|") {
+			row4 = i
+		}
+	}
+	if row3 == -1 || row4 == -1 || row3 >= row4 {
+		t.Errorf("growing series (row %d) should sit above flat one (row %d)", row3, row4)
+	}
+}
+
+func TestRenderLogX(t *testing.T) {
+	c := Chart{
+		LogX: true,
+		Series: []Series{
+			{Name: "s", Xs: []float64{1000, 10000, 100000}, Ys: []float64{1, 2, 3}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1e+03") && !strings.Contains(buf.String(), "1000") {
+		t.Errorf("x labels missing:\n%s", buf.String())
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (Chart{}).Render(&buf); err == nil {
+		t.Error("no series should fail")
+	}
+	bad := Chart{Series: []Series{{Name: "x", Xs: []float64{1}, Ys: []float64{1, 2}}}}
+	if err := bad.Render(&buf); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+	logBad := Chart{LogX: true, Series: []Series{{Name: "x", Xs: []float64{0}, Ys: []float64{1}}}}
+	if err := logBad.Render(&buf); err == nil {
+		t.Error("non-positive x with LogX should fail")
+	}
+	empty := Chart{Series: []Series{{Name: "x"}}}
+	if err := empty.Render(&buf); err == nil {
+		t.Error("empty series should fail")
+	}
+}
+
+func TestRenderDegenerateRanges(t *testing.T) {
+	c := Chart{Series: []Series{{Name: "pt", Xs: []float64{5}, Ys: []float64{7}}}}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.ContainsRune(buf.String(), '*') {
+		t.Error("default glyph missing")
+	}
+}

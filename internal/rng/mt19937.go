@@ -1,0 +1,123 @@
+package rng
+
+// MT19937 is the 32-bit Mersenne Twister of Matsumoto and Nishimura,
+// the generator behind Python's random module, which the paper used for
+// its Section 5 experiments. It implements math/rand.Source64.
+//
+// The zero value is not usable; construct with NewMT19937.
+type MT19937 struct {
+	state [mtN]uint32
+	index int
+}
+
+const (
+	mtN         = 624
+	mtM         = 397
+	mtMatrixA   = 0x9908b0df
+	mtUpperMask = 0x80000000
+	mtLowerMask = 0x7fffffff
+)
+
+// NewMT19937 returns a Mersenne Twister seeded with the low 32 bits of
+// seed, using the reference initialisation from the 2002 version of the
+// algorithm (init_genrand).
+func NewMT19937(seed uint32) *MT19937 {
+	m := &MT19937{}
+	m.seed32(seed)
+	return m
+}
+
+func (m *MT19937) seed32(seed uint32) {
+	m.state[0] = seed
+	for i := 1; i < mtN; i++ {
+		m.state[i] = 1812433253*(m.state[i-1]^(m.state[i-1]>>30)) + uint32(i)
+	}
+	m.index = mtN
+}
+
+// Seed reseeds the generator from the low 32 bits of seed. It implements
+// math/rand.Source.
+func (m *MT19937) Seed(seed int64) {
+	m.seed32(uint32(seed))
+}
+
+// SeedBySlice reseeds using the reference init_by_array routine, which is
+// what CPython uses when seeding from arbitrary-precision integers.
+func (m *MT19937) SeedBySlice(key []uint32) {
+	m.seed32(19650218)
+	i, j := 1, 0
+	k := len(key)
+	if mtN > k {
+		k = mtN
+	}
+	for ; k > 0; k-- {
+		m.state[i] = (m.state[i] ^ ((m.state[i-1] ^ (m.state[i-1] >> 30)) * 1664525)) + key[j] + uint32(j)
+		i++
+		j++
+		if i >= mtN {
+			m.state[0] = m.state[mtN-1]
+			i = 1
+		}
+		if j >= len(key) {
+			j = 0
+		}
+	}
+	for k = mtN - 1; k > 0; k-- {
+		m.state[i] = (m.state[i] ^ ((m.state[i-1] ^ (m.state[i-1] >> 30)) * 1566083941)) - uint32(i)
+		i++
+		if i >= mtN {
+			m.state[0] = m.state[mtN-1]
+			i = 1
+		}
+	}
+	m.state[0] = 0x80000000
+	m.index = mtN
+}
+
+// Uint32 returns the next 32 bits from the generator.
+func (m *MT19937) Uint32() uint32 {
+	if m.index >= mtN {
+		m.generate()
+	}
+	y := m.state[m.index]
+	m.index++
+	y ^= y >> 11
+	y ^= (y << 7) & 0x9d2c5680
+	y ^= (y << 15) & 0xefc60000
+	y ^= y >> 18
+	return y
+}
+
+func (m *MT19937) generate() {
+	for i := 0; i < mtN; i++ {
+		y := (m.state[i] & mtUpperMask) | (m.state[(i+1)%mtN] & mtLowerMask)
+		next := m.state[(i+mtM)%mtN] ^ (y >> 1)
+		if y&1 != 0 {
+			next ^= mtMatrixA
+		}
+		m.state[i] = next
+	}
+	m.index = 0
+}
+
+// Uint64 returns the next 64 bits by concatenating two 32-bit outputs,
+// high word first (matching CPython's genrand_res53 word order). It
+// implements math/rand.Source64.
+func (m *MT19937) Uint64() uint64 {
+	hi := uint64(m.Uint32())
+	lo := uint64(m.Uint32())
+	return hi<<32 | lo
+}
+
+// Int63 implements math/rand.Source.
+func (m *MT19937) Int63() int64 {
+	return int64(m.Uint64() >> 1)
+}
+
+// Float64 returns a float in [0,1) with 53 random bits, exactly as
+// CPython's random.random() (genrand_res53) computes it.
+func (m *MT19937) Float64() float64 {
+	a := m.Uint32() >> 5 // 27 bits
+	b := m.Uint32() >> 6 // 26 bits
+	return (float64(a)*67108864.0 + float64(b)) / 9007199254740992.0
+}

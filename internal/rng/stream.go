@@ -1,0 +1,55 @@
+package rng
+
+import "math/rand"
+
+// Kind selects which generator family a Stream produces.
+type Kind int
+
+// Generator families available from NewStream.
+const (
+	KindXoshiro Kind = iota + 1
+	KindMT19937
+	KindSplitMix
+)
+
+// Stream derives statistically independent child generators from a single
+// master seed. Each call to Next returns a fresh generator whose seed is
+// drawn from a private SplitMix64 sequence, so parallel trials never
+// share or overlap state.
+//
+// Stream itself is not safe for concurrent use; derive all children
+// before fanning out, or guard Next externally.
+type Stream struct {
+	kind Kind
+	seq  *SplitMix64
+}
+
+// NewStream returns a Stream producing generators of the given kind,
+// derived from seed.
+func NewStream(kind Kind, seed uint64) *Stream {
+	return &Stream{kind: kind, seq: NewSplitMix64(seed)}
+}
+
+// Next returns the next independent child generator.
+func (st *Stream) Next() rand.Source64 {
+	s := st.seq.Uint64()
+	switch st.kind {
+	case KindMT19937:
+		return NewMT19937(uint32(s))
+	case KindSplitMix:
+		return NewSplitMix64(s)
+	default:
+		return NewXoshiro256(s)
+	}
+}
+
+// NextRand returns the next child generator wrapped in a *rand.Rand.
+func (st *Stream) NextRand() *rand.Rand {
+	return rand.New(st.Next())
+}
+
+// New returns a single generator of the given kind for callers that do
+// not need a stream.
+func New(kind Kind, seed uint64) rand.Source64 {
+	return NewStream(kind, seed).Next()
+}

@@ -1,0 +1,12 @@
+// Package sim is the experiment harness: it runs seeded, reproducible,
+// optionally parallel trials of any walk process over any graph family,
+// aggregates the results, and renders the tables and series that
+// regenerate the paper's Figure 1 and the quantitative claims indexed
+// in DESIGN.md.
+//
+// Reproducibility contract: every experiment is driven by a single
+// master seed. Trial i of any experiment receives the i-th generator of
+// an rng.Stream derived from that seed, so results are identical
+// regardless of how many workers execute the trials or how the
+// scheduler interleaves them.
+package sim

@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/stats"
+	"repro/internal/walk"
+)
+
+// AblationRow compares unvisited-EDGE preference (the paper's
+// E-process) with unvisited-VERTEX preference and the plain SRW on the
+// same instances. The paper's introduction motivates the E-process via
+// exactly this contrast.
+type AblationRow struct {
+	Degree   int
+	N        int
+	SRW      float64
+	VProcess float64
+	EProcess float64
+}
+
+// ExpEdgeVsVertexPreference runs the ablation over odd and even degrees
+// and n values; the E-process's even-degree guarantee (Θ(n)) is the
+// differentiator the paper proves.
+func ExpEdgeVsVertexPreference(cfg ExpConfig) ([]AblationRow, *Table, error) {
+	cfg = cfg.withDefaults()
+	base := []int{250, 500, 1000}
+	var rows []AblationRow
+	for _, deg := range []int{3, 4} {
+		for _, b := range base {
+			n := b * cfg.Scale
+			if n*deg%2 != 0 {
+				n++
+			}
+			gf := func(r *rand.Rand) (*graph.Graph, error) { return gen.RandomRegularSW(r, n, deg) }
+			salt := uint64(deg)<<48 ^ uint64(n)
+			srw, err := RunVertexOnly(cfg.runCfg(salt), gf,
+				func(g *graph.Graph, r *rand.Rand, s int) walk.Process { return walk.NewSimple(g, r, s) })
+			if err != nil {
+				return nil, nil, err
+			}
+			vp, err := RunVertexOnly(cfg.runCfg(salt), gf,
+				func(g *graph.Graph, r *rand.Rand, s int) walk.Process { return walk.NewVProcess(g, r, s) })
+			if err != nil {
+				return nil, nil, err
+			}
+			ep, err := RunVertexOnly(cfg.runCfg(salt), gf,
+				func(g *graph.Graph, r *rand.Rand, s int) walk.Process { return walk.NewEProcess(g, r, nil, s) })
+			if err != nil {
+				return nil, nil, err
+			}
+			rows = append(rows, AblationRow{
+				Degree:   deg,
+				N:        n,
+				SRW:      srw.VertexStats.Mean,
+				VProcess: vp.VertexStats.Mean,
+				EProcess: ep.VertexStats.Mean,
+			})
+		}
+	}
+	t := NewTable("ABLATION: unvisited-edge vs unvisited-vertex preference (vertex cover)",
+		"degree", "n", "C_V(SRW)", "C_V(V-proc)", "C_V(E-proc)", "E/V", "E/SRW")
+	for _, r := range rows {
+		t.AddRow(r.Degree, r.N, r.SRW, r.VProcess, r.EProcess,
+			r.EProcess/r.VProcess, r.EProcess/r.SRW)
+	}
+	return rows, t, nil
+}
+
+// GrowthByProcess classifies cover-time growth for each process on
+// even-degree graphs; only the E-process is guaranteed linear.
+type GrowthByProcess struct {
+	Process string
+	Growth  stats.Growth
+}
+
+// ExpAblationGrowth classifies the growth of the three processes on
+// 4-regular graphs over an n sweep.
+func ExpAblationGrowth(cfg ExpConfig) ([]GrowthByProcess, *Table, error) {
+	cfg = cfg.withDefaults()
+	base := []int{200, 400, 800, 1600}
+	type proc struct {
+		name string
+		pf   ProcessFactory
+	}
+	procs := []proc{
+		{"srw", func(g *graph.Graph, r *rand.Rand, s int) walk.Process { return walk.NewSimple(g, r, s) }},
+		{"vprocess", func(g *graph.Graph, r *rand.Rand, s int) walk.Process { return walk.NewVProcess(g, r, s) }},
+		{"eprocess", func(g *graph.Graph, r *rand.Rand, s int) walk.Process { return walk.NewEProcess(g, r, nil, s) }},
+	}
+	var out []GrowthByProcess
+	t := NewTable("ABLATION-GROWTH: cover growth by process (4-regular)",
+		"process", "n", "C_V", "C_V/n", "verdict")
+	for _, p := range procs {
+		var ns, ys []float64
+		var perRow [][2]float64
+		for _, b := range base {
+			n := b * cfg.Scale
+			res, err := RunVertexOnly(cfg.runCfg(uint64(len(p.name))<<32^uint64(n)),
+				func(r *rand.Rand) (*graph.Graph, error) { return gen.RandomRegularSW(r, n, 4) }, p.pf)
+			if err != nil {
+				return nil, nil, err
+			}
+			ns = append(ns, float64(n))
+			ys = append(ys, res.VertexStats.Mean)
+			perRow = append(perRow, [2]float64{float64(n), res.VertexStats.Mean})
+		}
+		growth, err := stats.ClassifyGrowth(ns, ys)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, GrowthByProcess{Process: p.name, Growth: growth})
+		for i, row := range perRow {
+			verdict := ""
+			if i == len(perRow)-1 {
+				verdict = growth.Verdict
+			}
+			t.AddRow(p.name, int(row[0]), row[1], row[1]/row[0], verdict)
+		}
+	}
+	return out, t, nil
+}

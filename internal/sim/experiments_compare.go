@@ -1,0 +1,372 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/spectral"
+	"repro/internal/walk"
+)
+
+// --- HCUBE: hypercube edge cover case study -------------------------------
+
+// HypercubeRow is one dimension point of the HCUBE experiment.
+type HypercubeRow struct {
+	R          int // dimension; n = 2^r
+	N, M       int
+	EProcess   float64 // E-process edge cover
+	SRW        float64 // SRW edge cover
+	PerNLogN   float64 // E-process / (n·ln n): paper predicts Θ(1)
+	SRWPerNLg2 float64 // SRW / (n·ln² n): paper predicts Θ(1)
+	GRWBound   float64 // eq. (2) upper bound (loose here: O(n log² n))
+}
+
+// ExpHypercube contrasts E-process and SRW edge cover on H_r: the paper
+// argues Θ(n log n) vs Θ(n log² n), beating the eq. (2) bound.
+func ExpHypercube(cfg ExpConfig) ([]HypercubeRow, *Table, error) {
+	cfg = cfg.withDefaults()
+	dims := []int{6, 8, 10}
+	if cfg.Scale >= 4 {
+		dims = []int{8, 10, 12}
+	}
+	var rows []HypercubeRow
+	for _, r := range dims {
+		gf := func(*rand.Rand) (*graph.Graph, error) { return gen.Hypercube(r) }
+		ep, err := Run(cfg.runCfg(uint64(r)), gf,
+			func(g *graph.Graph, rr *rand.Rand, start int) walk.Process {
+				return walk.NewEProcess(g, rr, nil, start)
+			})
+		if err != nil {
+			return nil, nil, err
+		}
+		// SRW edge cover measured directly (not just vertex cover).
+		srwSamples := make([]float64, 0, cfg.Trials)
+		stream := rng.NewStream(rng.KindXoshiro, cfg.Seed^uint64(r)<<20)
+		g, err := gen.Hypercube(r)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i := 0; i < cfg.Trials; i++ {
+			w := walk.NewSimple(g, rand.New(stream.Next()), 0)
+			steps, err := walk.EdgeCoverSteps(w, 0)
+			if err != nil {
+				return nil, nil, err
+			}
+			srwSamples = append(srwSamples, float64(steps))
+		}
+		srwMean := 0.0
+		for _, s := range srwSamples {
+			srwMean += s
+		}
+		srwMean /= float64(len(srwSamples))
+
+		n := float64(g.N())
+		lnN := math.Log(n)
+		// Lazy gap of H_r: λ2 = 1−2/r → lazy gap = 1/r.
+		rows = append(rows, HypercubeRow{
+			R: r, N: g.N(), M: g.M(),
+			EProcess:   ep.EdgeStats.Mean,
+			SRW:        srwMean,
+			PerNLogN:   ep.EdgeStats.Mean / (n * lnN),
+			SRWPerNLg2: srwMean / (n * lnN * lnN),
+			GRWBound:   core.GreedyWalkBound(g.N(), g.M(), 1/float64(r)),
+		})
+	}
+	t := NewTable("HCUBE: edge cover on the hypercube H_r",
+		"r", "n", "m", "C_E(E)", "C_E(SRW)", "E/(n·ln n)", "SRW/(n·ln² n)", "eq2 bound")
+	for _, row := range rows {
+		t.AddRow(row.R, row.N, row.M, row.EProcess, row.SRW, row.PerNLogN, row.SRWPerNLg2, row.GRWBound)
+	}
+	return rows, t, nil
+}
+
+// --- STAR: Section 5 isolated blue stars on odd-degree graphs -------------
+
+// StarRow is one (degree, n) census of the STAR experiment.
+type StarRow struct {
+	Degree      int
+	N           int
+	EverCenters float64 // mean distinct star centres over the run
+	Peak        float64 // mean peak simultaneous population
+	NOver8      float64 // the paper's n/8 prediction (r=3 only)
+}
+
+// ExpOddStars runs the Section 5 star census: 3-regular graphs should
+// produce ≈ n/8 isolated blue stars; even degrees exactly 0.
+func ExpOddStars(cfg ExpConfig) ([]StarRow, *Table, error) {
+	cfg = cfg.withDefaults()
+	n := 400 * cfg.Scale
+	var rows []StarRow
+	for _, deg := range []int{3, 4} {
+		stream := rng.NewStream(rng.KindXoshiro, cfg.Seed^uint64(deg)<<24)
+		var ever, peak float64
+		for i := 0; i < cfg.Trials; i++ {
+			r := rand.New(stream.Next())
+			g, err := gen.RandomRegularSW(r, n, deg)
+			if err != nil {
+				return nil, nil, err
+			}
+			e := walk.NewEProcess(g, r, nil, 0)
+			st, err := core.StarCensusRun(e, 0)
+			if err != nil {
+				return nil, nil, err
+			}
+			ever += float64(st.EverCenters)
+			peak += float64(st.Peak)
+		}
+		ever /= float64(cfg.Trials)
+		peak /= float64(cfg.Trials)
+		pred := 0.0
+		if deg == 3 {
+			pred = core.OddStarExpectation(n)
+		}
+		rows = append(rows, StarRow{Degree: deg, N: n, EverCenters: ever, Peak: peak, NOver8: pred})
+	}
+	t := NewTable("STAR: isolated blue stars left by the blue walk (Section 5)",
+		"degree", "n", "ever-centres", "peak", "n/8 prediction")
+	for _, r := range rows {
+		t.AddRow(r.Degree, r.N, r.EverCenters, r.Peak, r.NOver8)
+	}
+	return rows, t, nil
+}
+
+// --- RULEA: rule independence ---------------------------------------------
+
+// RuleRow is one rule's cover time in the RULEA experiment.
+type RuleRow struct {
+	Rule       string
+	N          int
+	Vertex     float64
+	Normalized float64
+}
+
+// ExpRuleIndependence runs the E-process under every implemented rule A
+// on the same graph family; Theorem 1 predicts all normalised cover
+// times stay O(1) on even-degree expanders, adversarial rules included.
+func ExpRuleIndependence(cfg ExpConfig) ([]RuleRow, *Table, error) {
+	cfg = cfg.withDefaults()
+	n := 500 * cfg.Scale
+	rules := []walk.Rule{
+		walk.Uniform{}, walk.LowestEdgeFirst{}, walk.HighestEdgeFirst{},
+		&walk.RoundRobin{}, walk.TowardVisited{}, walk.TowardUnvisited{},
+	}
+	var rows []RuleRow
+	for _, rule := range rules {
+		rule := rule
+		res, err := RunVertexOnly(cfg.runCfg(0xA11CE),
+			func(r *rand.Rand) (*graph.Graph, error) { return gen.RandomRegularSW(r, n, 4) },
+			func(g *graph.Graph, r *rand.Rand, start int) walk.Process {
+				return walk.NewEProcess(g, r, rule, start)
+			})
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, RuleRow{
+			Rule:       rule.Name(),
+			N:          n,
+			Vertex:     res.VertexStats.Mean,
+			Normalized: res.VertexStats.Mean / float64(n),
+		})
+	}
+	t := NewTable("RULEA: E-process vertex cover under different rules A (4-regular)",
+		"rule", "n", "C_V(E)", "C_V/n")
+	for _, r := range rows {
+		t.AddRow(r.Rule, r.N, r.Vertex, r.Normalized)
+	}
+	return rows, t, nil
+}
+
+// --- P1P2: random regular structural properties ---------------------------
+
+// PropertyRow is one degree's (P1)/(P2) verification.
+type PropertyRow struct {
+	Degree      int
+	N           int
+	Lambda2Adj  float64 // λ2 of the adjacency matrix = r·λ2(P)
+	AlonBound   float64 // 2·sqrt(r−1) + ε
+	P1Holds     bool
+	P2Horizon   int // largest s ≤ horizon at which (P2) holds
+	ShortCycles int // census size at the horizon
+}
+
+// ExpRandomRegularProperties verifies (P1) and (P2) numerically on
+// sampled random regular graphs.
+func ExpRandomRegularProperties(cfg ExpConfig) ([]PropertyRow, *Table, error) {
+	cfg = cfg.withDefaults()
+	n := 400 * cfg.Scale
+	const eps = 0.35 // (P1) allows any constant ε > 0; finite-n slack
+	var rows []PropertyRow
+	for _, deg := range []int{4, 6} {
+		stream := rng.NewStream(rng.KindXoshiro, cfg.Seed^uint64(deg)<<28)
+		g, err := gen.RandomRegularSW(rand.New(stream.Next()), n, deg)
+		if err != nil {
+			return nil, nil, err
+		}
+		l2, err := spectral.Lambda2(g, spectral.Options{Tol: 1e-9})
+		if err != nil {
+			return nil, nil, err
+		}
+		adjL2 := l2 * float64(deg)
+		alon := 2*math.Sqrt(float64(deg-1)) + eps
+		horizon := 8
+		cycles, err := core.Census(g, horizon, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		p2 := 0
+		for s := 3; s <= horizon; s++ {
+			if core.P2Holds(g, s, cycles) {
+				p2 = s
+			} else {
+				break
+			}
+		}
+		rows = append(rows, PropertyRow{
+			Degree:      deg,
+			N:           n,
+			Lambda2Adj:  adjL2,
+			AlonBound:   alon,
+			P1Holds:     adjL2 <= alon,
+			P2Horizon:   p2,
+			ShortCycles: len(cycles),
+		})
+	}
+	t := NewTable("P1P2: structural properties of random regular graphs (Section 4)",
+		"degree", "n", "λ2(adj)", "2√(r−1)+ε", "(P1)", "(P2) up to s", "short cycles")
+	for _, r := range rows {
+		t.AddRow(r.Degree, r.N, r.Lambda2Adj, r.AlonBound, r.P1Holds, r.P2Horizon, r.ShortCycles)
+	}
+	return rows, t, nil
+}
+
+// --- GRW: Orenshtein–Shinkar greedy random walk ---------------------------
+
+// GreedyRow is one degree point of the GRW experiment.
+type GreedyRow struct {
+	Degree   int
+	N, M     int
+	Measured float64 // GRW edge cover (= uniform-rule E-process)
+	Bound    float64 // eq. (2) with measured gap
+	Ratio    float64
+}
+
+// ExpGreedyWalk measures GRW edge cover against the eq. (2) bound,
+// including an r = Θ(log n) family where the bound is Θ(m).
+func ExpGreedyWalk(cfg ExpConfig) ([]GreedyRow, *Table, error) {
+	cfg = cfg.withDefaults()
+	n := 256 * cfg.Scale
+	lgN := 0
+	for s := n; s > 1; s >>= 1 {
+		lgN++
+	}
+	degs := []int{4, 6, lgN &^ 1} // include an even r ≈ log2 n
+	var rows []GreedyRow
+	for _, deg := range degs {
+		if deg >= n || deg < 3 {
+			continue
+		}
+		res, err := Run(cfg.runCfg(uint64(deg)<<12),
+			func(r *rand.Rand) (*graph.Graph, error) { return gen.RandomRegularSW(r, n, deg) },
+			func(g *graph.Graph, r *rand.Rand, start int) walk.Process { return walk.NewEProcess(g, r, nil, start) })
+		if err != nil {
+			return nil, nil, err
+		}
+		g, err := gen.RandomRegularSW(rand.New(rng.NewStream(rng.KindXoshiro, cfg.Seed^uint64(deg)<<12).Next()), n, deg)
+		if err != nil {
+			return nil, nil, err
+		}
+		gap, err := spectral.ComputeGap(g, spectral.Options{Tol: 1e-8})
+		if err != nil {
+			return nil, nil, err
+		}
+		lazy := spectral.LazyGap(gap)
+		row := GreedyRow{
+			Degree:   deg,
+			N:        g.N(),
+			M:        g.M(),
+			Measured: res.EdgeStats.Mean,
+			Bound:    core.GreedyWalkBound(g.N(), g.M(), lazy.Value),
+		}
+		row.Ratio = row.Measured / row.Bound
+		rows = append(rows, row)
+	}
+	t := NewTable("GRW: greedy random walk edge cover vs eq. (2)",
+		"degree", "n", "m", "C_E(GRW)", "bound", "ratio")
+	for _, r := range rows {
+		t.AddRow(r.Degree, r.N, r.M, r.Measured, r.Bound, r.Ratio)
+	}
+	return rows, t, nil
+}
+
+// --- RWC / ROTOR / FAIR: comparison processes -----------------------------
+
+// CompareRow is one process's cover time in the comparison experiments.
+type CompareRow struct {
+	Process string
+	Family  string
+	N       int
+	Vertex  float64
+	Edge    float64
+}
+
+// ExpProcessComparison runs SRW, E-process, RWC(2), RWC(3), the
+// rotor-router and the locally fair walks on a torus and a random
+// geometric graph (the Avin–Krishnamachari setting) plus a random
+// 4-regular expander.
+func ExpProcessComparison(cfg ExpConfig) ([]CompareRow, *Table, error) {
+	cfg = cfg.withDefaults()
+	side := 20 * cfg.Scale
+	nRGG := 300 * cfg.Scale
+	nReg := 400 * cfg.Scale
+	type fam struct {
+		name  string
+		build GraphFactory
+	}
+	families := []fam{
+		{"torus", func(r *rand.Rand) (*graph.Graph, error) { return gen.Torus(side, side) }},
+		{"rgg", func(r *rand.Rand) (*graph.Graph, error) { return gen.RandomGeometricConnected(r, nRGG, 0) }},
+		{"random-4-regular", func(r *rand.Rand) (*graph.Graph, error) { return gen.RandomRegularSW(r, nReg, 4) }},
+	}
+	type proc struct {
+		name  string
+		build ProcessFactory
+	}
+	procs := []proc{
+		{"srw", func(g *graph.Graph, r *rand.Rand, s int) walk.Process { return walk.NewSimple(g, r, s) }},
+		{"eprocess", func(g *graph.Graph, r *rand.Rand, s int) walk.Process { return walk.NewEProcess(g, r, nil, s) }},
+		{"rwc(2)", func(g *graph.Graph, r *rand.Rand, s int) walk.Process { return walk.NewChoice(g, r, 2, s) }},
+		{"rwc(3)", func(g *graph.Graph, r *rand.Rand, s int) walk.Process { return walk.NewChoice(g, r, 3, s) }},
+		{"rotor", func(g *graph.Graph, r *rand.Rand, s int) walk.Process { return walk.NewRotor(g, r, s) }},
+		{"least-used", func(g *graph.Graph, r *rand.Rand, s int) walk.Process { return walk.NewLeastUsedFirst(g, r, s) }},
+		{"oldest-first", func(g *graph.Graph, r *rand.Rand, s int) walk.Process { return walk.NewOldestFirst(g, r, s) }},
+	}
+	var rows []CompareRow
+	for fi, f := range families {
+		for pi, p := range procs {
+			res, err := Run(cfg.runCfg(uint64(fi)<<8|uint64(pi)), f.build, p.build)
+			if err != nil {
+				return nil, nil, err
+			}
+			var n int
+			g, err := f.build(rand.New(rng.NewStream(rng.KindXoshiro, cfg.Seed^uint64(fi)<<8|uint64(pi)).Next()))
+			if err == nil {
+				n = g.N()
+			}
+			rows = append(rows, CompareRow{
+				Process: p.name, Family: f.name, N: n,
+				Vertex: res.VertexStats.Mean,
+				Edge:   res.EdgeStats.Mean,
+			})
+		}
+	}
+	t := NewTable("COMPARE: cover times across processes and families",
+		"family", "process", "n", "C_V", "C_E")
+	for _, r := range rows {
+		t.AddRow(r.Family, r.Process, r.N, r.Vertex, r.Edge)
+	}
+	return rows, t, nil
+}

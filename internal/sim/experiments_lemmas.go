@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/rng"
+	"repro/internal/spectral"
+	"repro/internal/walk"
+)
+
+// BlanketRow is one n-point of the eq. (4) experiment.
+type BlanketRow struct {
+	N          int
+	SRWCover   float64 // C_V(SRW)
+	Blanket    float64 // t_bl(0.5)
+	VisitAllR  float64 // T(r): every vertex visited ≥ r times
+	EdgeCover  float64 // C_E(E-process)
+	Eq4Bound   float64 // m + C_V(SRW)
+	BlanketVsC float64 // t_bl / C_V(SRW): Ding–Lee–Peres says O(1)
+}
+
+// ExpBlanketTime measures the quantities in the paper's eq. (4)
+// argument: the blanket time t_bl(δ) and the all-vertices-r-times time
+// T(r) are both O(C_V(SRW)), which bounds the E-process edge cover by
+// O(m + C_V(SRW)).
+func ExpBlanketTime(cfg ExpConfig) ([]BlanketRow, *Table, error) {
+	cfg = cfg.withDefaults()
+	deg := 4
+	base := []int{200, 400}
+	var rows []BlanketRow
+	for _, b := range base {
+		n := b * cfg.Scale
+		stream := rng.NewStream(rng.KindXoshiro, cfg.Seed^uint64(n)<<4)
+		var srwSum, blSum, vaSum, ecSum float64
+		for i := 0; i < cfg.Trials; i++ {
+			r := rand.New(stream.Next())
+			g, err := gen.RandomRegularSW(r, n, deg)
+			if err != nil {
+				return nil, nil, err
+			}
+			srw := walk.NewSimple(g, r, 0)
+			s, err := walk.VertexCoverSteps(srw, 0)
+			if err != nil {
+				return nil, nil, err
+			}
+			srwSum += float64(s)
+			bl, err := walk.BlanketTime(g, r, 0, 0.5, 0)
+			if err != nil {
+				return nil, nil, err
+			}
+			blSum += float64(bl)
+			va, err := walk.VisitAllAtLeast(g, r, 0, deg, 0)
+			if err != nil {
+				return nil, nil, err
+			}
+			vaSum += float64(va)
+			e := walk.NewEProcess(g, r, nil, 0)
+			ec, err := walk.EdgeCoverSteps(e, 0)
+			if err != nil {
+				return nil, nil, err
+			}
+			ecSum += float64(ec)
+		}
+		tr := float64(cfg.Trials)
+		m := float64(n * deg / 2)
+		row := BlanketRow{
+			N:         n,
+			SRWCover:  srwSum / tr,
+			Blanket:   blSum / tr,
+			VisitAllR: vaSum / tr,
+			EdgeCover: ecSum / tr,
+			Eq4Bound:  m + srwSum/tr,
+		}
+		row.BlanketVsC = row.Blanket / row.SRWCover
+		rows = append(rows, row)
+	}
+	t := NewTable("EQ4: blanket time, T(r) and the E-process edge cover (4-regular)",
+		"n", "C_V(SRW)", "t_bl(0.5)", "T(r)", "C_E(E)", "m+C_V(SRW)", "t_bl/C_V")
+	for _, r := range rows {
+		t.AddRow(r.N, r.SRWCover, r.Blanket, r.VisitAllR, r.EdgeCover, r.Eq4Bound, r.BlanketVsC)
+	}
+	return rows, t, nil
+}
+
+// Lemma13Row compares the measured probability that a vertex set S
+// stays unvisited up to step t with Lemma 13's exponential bound.
+type Lemma13Row struct {
+	N        int
+	SetSize  int
+	T        int64
+	Measured float64 // empirical Pr(S unvisited at t)
+	Bound    float64 // exp(−t·d(S)·gap/(14m)), 1 if hypotheses unmet
+}
+
+// ExpLemma13 verifies the engine of the paper's main proof: for a set
+// S with d(S) ≤ m/(6·log n) and t ≥ 7m/(d(S)·gap), the probability a
+// random walk misses S for t steps is at most
+// exp(−t·d(S)·gap/(14m)). S is taken as a BFS ball around a fixed
+// vertex, matching the connected blue fragments of Lemma 15.
+func ExpLemma13(cfg ExpConfig) ([]Lemma13Row, *Table, error) {
+	cfg = cfg.withDefaults()
+	n := 200 * cfg.Scale
+	deg := 4
+	stream := rng.NewStream(rng.KindXoshiro, cfg.Seed^0x13)
+	r := rand.New(stream.Next())
+	g, err := gen.RandomRegularSW(r, n, deg)
+	if err != nil {
+		return nil, nil, err
+	}
+	gap, err := spectral.ComputeGap(g, spectral.Options{Tol: 1e-8})
+	if err != nil {
+		return nil, nil, err
+	}
+	lazyGapValue := spectral.LazyGap(gap).Value
+	m := g.M()
+
+	// Sets: BFS balls of radius 0, 1, 2 around a vertex far from the
+	// walk's start (vertex n−1; the start is 0).
+	var rows []Lemma13Row
+	trials := 200 * cfg.Trials
+	for _, radius := range []int{0, 1, 2} {
+		ball, _ := g.BallAround(n-1, radius)
+		dS := g.DegreeOf(ball)
+		tSteps := int64(math.Ceil(7 * float64(m) / (float64(dS) * lazyGapValue)))
+		inS := make([]bool, n)
+		for _, v := range ball {
+			inS[v] = true
+		}
+		missed := 0
+		for trial := 0; trial < trials; trial++ {
+			w := walk.NewLazy(g, rand.New(stream.Next()), 0)
+			hit := false
+			for step := int64(0); step < tSteps; step++ {
+				_, v := w.Step()
+				if inS[v] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				missed++
+			}
+		}
+		rows = append(rows, Lemma13Row{
+			N:        n,
+			SetSize:  len(ball),
+			T:        tSteps,
+			Measured: float64(missed) / float64(trials),
+			Bound:    core.UnvisitedSetProbBound(n, m, dS, lazyGapValue, float64(tSteps)),
+		})
+	}
+	t := NewTable("LEMMA13: Pr(S unvisited at t) vs the exponential bound (lazy walk, 4-regular)",
+		"n", "|S|", "t", "measured", "bound")
+	for _, row := range rows {
+		t.AddRow(row.N, row.SetSize, row.T, row.Measured, row.Bound)
+	}
+	return rows, t, nil
+}

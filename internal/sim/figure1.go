@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/walk"
+)
+
+// Figure1Point is one (degree, n) cell of the paper's Figure 1.
+type Figure1Point struct {
+	Degree     int
+	N          int
+	Normalized float64 // mean vertex cover time divided by n
+	StdErr     float64 // standard error of the normalised mean
+	Trials     int
+}
+
+// Figure1Series is the full series for one degree, with the growth fit
+// the paper overlays on odd-degree curves.
+type Figure1Series struct {
+	Degree  int
+	Points  []Figure1Point
+	Growth  stats.Growth
+	HasFit  bool
+	Verdict string // "linear" or "nlogn"
+}
+
+// Figure1Config parameterises the Figure 1 regeneration. The paper's
+// settings are degrees 3–7, n up to 5·10⁵, 5 trials per point, uniform
+// rule; the defaults here scale n down for CI-speed and are overridden
+// by cmd/figure1 flags.
+type Figure1Config struct {
+	Degrees []int // default {3,4,5,6,7}
+	Ns      []int // default {1000, 2000, 4000, 8000}
+	Trials  int   // default 5 (the paper's count)
+	Seed    uint64
+	Workers int
+	// Kind selects the RNG family; rng.KindMT19937 mirrors the paper's
+	// Python Mersenne Twister (default xoshiro256**).
+	Kind rng.Kind
+}
+
+func (c Figure1Config) withDefaults() Figure1Config {
+	if len(c.Degrees) == 0 {
+		c.Degrees = []int{3, 4, 5, 6, 7}
+	}
+	if len(c.Ns) == 0 {
+		c.Ns = []int{1000, 2000, 4000, 8000}
+	}
+	if c.Trials == 0 {
+		c.Trials = 5
+	}
+	return c
+}
+
+// Figure1 regenerates the paper's Figure 1: the normalised vertex cover
+// time C_V/n of the uniform-rule E-process on random d-regular graphs,
+// as a function of n, for each degree.
+func Figure1(cfg Figure1Config) ([]Figure1Series, error) {
+	cfg = cfg.withDefaults()
+	var out []Figure1Series
+	for _, d := range cfg.Degrees {
+		series := Figure1Series{Degree: d}
+		ns := make([]float64, 0, len(cfg.Ns))
+		ys := make([]float64, 0, len(cfg.Ns))
+		for _, n := range cfg.Ns {
+			if d >= n || n*d%2 != 0 {
+				return nil, fmt.Errorf("sim: infeasible Figure 1 cell d=%d n=%d", d, n)
+			}
+			pt, err := figure1Point(cfg, d, n)
+			if err != nil {
+				return nil, err
+			}
+			series.Points = append(series.Points, pt)
+			ns = append(ns, float64(n))
+			ys = append(ys, pt.Normalized*float64(n))
+		}
+		if len(series.Points) >= 3 {
+			growth, err := stats.ClassifyGrowth(ns, ys)
+			if err == nil {
+				series.Growth = growth
+				series.HasFit = true
+				series.Verdict = growth.Verdict
+			}
+		}
+		out = append(out, series)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Degree < out[j].Degree })
+	return out, nil
+}
+
+func figure1Point(cfg Figure1Config, d, n int) (Figure1Point, error) {
+	seed := cfg.Seed ^ (uint64(d) << 32) ^ uint64(n)
+	res, err := RunVertexOnly(
+		Config{Seed: seed, Trials: cfg.Trials, Workers: cfg.Workers, Kind: cfg.Kind},
+		func(r *rand.Rand) (*graph.Graph, error) { return gen.RandomRegularSW(r, n, d) },
+		func(g *graph.Graph, r *rand.Rand, start int) walk.Process {
+			return walk.NewEProcess(g, r, walk.Uniform{}, start)
+		},
+	)
+	if err != nil {
+		return Figure1Point{}, fmt.Errorf("sim: figure1 d=%d n=%d: %w", d, n, err)
+	}
+	fn := float64(n)
+	return Figure1Point{
+		Degree:     d,
+		N:          n,
+		Normalized: res.VertexStats.Mean / fn,
+		StdErr:     res.VertexStats.StdErr / fn,
+		Trials:     cfg.Trials,
+	}, nil
+}

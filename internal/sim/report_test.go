@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleReport() Report {
+	t := NewTable("Demo table", "n", "value")
+	t.AddRow(100, 2.5)
+	t.AddRow(200, 3.5)
+	return NewReport("demo", ExpConfig{Seed: 7, Trials: 3, Scale: 2}, t)
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	r := sampleReport()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != r.Name || back.Title != r.Title || back.Seed != 7 || back.Trials != 3 || back.Scale != 2 {
+		t.Errorf("metadata lost: %+v", back)
+	}
+	if len(back.Rows) != 2 || back.Rows[0][0] != "100" {
+		t.Errorf("rows lost: %+v", back.Rows)
+	}
+}
+
+func TestReportReadErrors(t *testing.T) {
+	if _, err := ReadReport(strings.NewReader("{not json")); err == nil {
+		t.Error("bad JSON should fail")
+	}
+}
+
+func TestReportMarkdown(t *testing.T) {
+	md := sampleReport().Markdown()
+	for _, want := range []string{"## DEMO — Demo table", "| n | value |", "| 100 | 2.5 |", "seed 7, 3 trials, scale 2"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestReportTableReconstruction(t *testing.T) {
+	r := sampleReport()
+	tb := r.Table()
+	var buf bytes.Buffer
+	if err := tb.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Demo table") || !strings.Contains(buf.String(), "100") {
+		t.Errorf("reconstructed table wrong:\n%s", buf.String())
+	}
+}
+
+func TestReportCopiesTable(t *testing.T) {
+	tb := NewTable("x", "a")
+	tb.AddRow(1)
+	rep := NewReport("x", ExpConfig{}, tb)
+	tb.Rows[0][0] = "mutated"
+	if rep.Rows[0][0] != "1" {
+		t.Error("report aliases the table's storage")
+	}
+}

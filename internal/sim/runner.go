@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/walk"
+)
+
+// GraphFactory builds a graph instance for one trial from the trial's
+// private generator.
+type GraphFactory func(r *rand.Rand) (*graph.Graph, error)
+
+// ProcessFactory builds the process under test on g, starting at start,
+// using the trial's private generator.
+type ProcessFactory func(g *graph.Graph, r *rand.Rand, start int) walk.Process
+
+// Config controls a trial batch.
+type Config struct {
+	// Seed is the master seed; every derived quantity is a pure
+	// function of it.
+	Seed uint64
+	// Trials is the number of independent trials (default 5, the
+	// paper's per-point count).
+	Trials int
+	// Workers bounds trial parallelism (default GOMAXPROCS).
+	Workers int
+	// MaxSteps caps each trial's walk (default: driver default).
+	MaxSteps int64
+	// Kind selects the RNG family (default xoshiro256**; use
+	// rng.KindMT19937 to mirror the paper's Python experiments).
+	Kind rng.Kind
+}
+
+func (c Config) withDefaults() Config {
+	if c.Trials == 0 {
+		c.Trials = 5
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Kind == 0 {
+		c.Kind = rng.KindXoshiro
+	}
+	return c
+}
+
+// Measurement is one trial's outcome.
+type Measurement struct {
+	Vertex float64 // vertex cover time in steps
+	Edge   float64 // edge cover time in steps
+}
+
+// Result aggregates a trial batch.
+type Result struct {
+	Measurements []Measurement
+	VertexStats  stats.Summary
+	EdgeStats    stats.Summary
+}
+
+// Run executes cfg.Trials independent trials: build a graph, build the
+// process at start vertex 0, and measure vertex and edge cover times
+// from a single trajectory per trial.
+func Run(cfg Config, gf GraphFactory, pf ProcessFactory) (Result, error) {
+	cfg = cfg.withDefaults()
+	if gf == nil || pf == nil {
+		return Result{}, errors.New("sim: nil factory")
+	}
+	stream := rng.NewStream(cfg.Kind, cfg.Seed)
+	sources := make([]*rand.Rand, cfg.Trials)
+	for i := range sources {
+		sources[i] = rand.New(stream.Next())
+	}
+
+	type outcome struct {
+		m   Measurement
+		err error
+	}
+	outcomes := make([]outcome, cfg.Trials)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for i := 0; i < cfg.Trials; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r := sources[i]
+			g, err := gf(r)
+			if err != nil {
+				outcomes[i] = outcome{err: fmt.Errorf("sim: trial %d graph: %w", i, err)}
+				return
+			}
+			p := pf(g, r, 0)
+			ct, err := walk.Cover(p, cfg.MaxSteps)
+			if err != nil {
+				outcomes[i] = outcome{err: fmt.Errorf("sim: trial %d cover: %w", i, err)}
+				return
+			}
+			outcomes[i] = outcome{m: Measurement{Vertex: float64(ct.Vertex), Edge: float64(ct.Edge)}}
+		}(i)
+	}
+	wg.Wait()
+
+	res := Result{Measurements: make([]Measurement, 0, cfg.Trials)}
+	vs := make([]float64, 0, cfg.Trials)
+	es := make([]float64, 0, cfg.Trials)
+	for _, o := range outcomes {
+		if o.err != nil {
+			return Result{}, o.err
+		}
+		res.Measurements = append(res.Measurements, o.m)
+		vs = append(vs, o.m.Vertex)
+		es = append(es, o.m.Edge)
+	}
+	var err error
+	if res.VertexStats, err = stats.Summarize(vs); err != nil {
+		return Result{}, err
+	}
+	if res.EdgeStats, err = stats.Summarize(es); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// RunVertexOnly is Run but measures only vertex cover (cheaper when the
+// edge cover tail is irrelevant, e.g. SRW baselines on large graphs).
+func RunVertexOnly(cfg Config, gf GraphFactory, pf ProcessFactory) (Result, error) {
+	cfg = cfg.withDefaults()
+	if gf == nil || pf == nil {
+		return Result{}, errors.New("sim: nil factory")
+	}
+	stream := rng.NewStream(cfg.Kind, cfg.Seed)
+	sources := make([]*rand.Rand, cfg.Trials)
+	for i := range sources {
+		sources[i] = rand.New(stream.Next())
+	}
+	type outcome struct {
+		v   float64
+		err error
+	}
+	outcomes := make([]outcome, cfg.Trials)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for i := 0; i < cfg.Trials; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r := sources[i]
+			g, err := gf(r)
+			if err != nil {
+				outcomes[i] = outcome{err: fmt.Errorf("sim: trial %d graph: %w", i, err)}
+				return
+			}
+			p := pf(g, r, 0)
+			steps, err := walk.VertexCoverSteps(p, cfg.MaxSteps)
+			if err != nil {
+				outcomes[i] = outcome{err: fmt.Errorf("sim: trial %d cover: %w", i, err)}
+				return
+			}
+			outcomes[i] = outcome{v: float64(steps)}
+		}(i)
+	}
+	wg.Wait()
+	res := Result{}
+	vs := make([]float64, 0, cfg.Trials)
+	for _, o := range outcomes {
+		if o.err != nil {
+			return Result{}, o.err
+		}
+		res.Measurements = append(res.Measurements, Measurement{Vertex: o.v})
+		vs = append(vs, o.v)
+	}
+	var err error
+	res.VertexStats, err = stats.Summarize(vs)
+	return res, err
+}

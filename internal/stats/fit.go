@@ -1,0 +1,235 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Fit is a least-squares fit of a one- or two-parameter growth model to
+// points (n_i, y_i).
+type Fit struct {
+	Model string  // "c*n", "c*n*ln(n)" or "a*n + b*n*ln(n)"
+	A     float64 // coefficient of n (or the single coefficient c)
+	B     float64 // coefficient of n·ln n (two-parameter model only)
+	R2    float64 // coefficient of determination
+	RMSE  float64 // root mean squared residual
+	// ASE is the standard error of A for the single-coefficient models
+	// (0 when not computed), so Figure-1-style constants can be quoted
+	// with uncertainty: c = A ± ASE.
+	ASE float64
+}
+
+// Eval returns the fitted model value at n.
+func (f Fit) Eval(n float64) float64 {
+	switch f.Model {
+	case "c*n":
+		return f.A * n
+	case "c*n*ln(n)":
+		return f.A * n * math.Log(n)
+	default:
+		return f.A*n + f.B*n*math.Log(n)
+	}
+}
+
+func (f Fit) String() string {
+	switch f.Model {
+	case "c*n":
+		return fmt.Sprintf("%.4g·n (R²=%.4f)", f.A, f.R2)
+	case "c*n*ln(n)":
+		return fmt.Sprintf("%.4g·n·ln n (R²=%.4f)", f.A, f.R2)
+	default:
+		return fmt.Sprintf("%.4g·n + %.4g·n·ln n (R²=%.4f)", f.A, f.B, f.R2)
+	}
+}
+
+func checkXY(ns, ys []float64, min int) error {
+	if len(ns) != len(ys) {
+		return errors.New("stats: mismatched point slices")
+	}
+	if len(ns) < min {
+		return fmt.Errorf("stats: need at least %d points, got %d", min, len(ns))
+	}
+	for _, n := range ns {
+		if n <= 1 {
+			return errors.New("stats: model fits need n > 1")
+		}
+	}
+	return nil
+}
+
+// FitLinear fits y ≈ c·n through the origin.
+func FitLinear(ns, ys []float64) (Fit, error) {
+	if err := checkXY(ns, ys, 2); err != nil {
+		return Fit{}, err
+	}
+	return fitSingle(ns, ys, "c*n", func(n float64) float64 { return n })
+}
+
+// FitNLogN fits y ≈ c·n·ln n through the origin. The paper overlays
+// exactly this curve ("[c·n·ln(n)]") on the odd-degree Figure 1 series.
+func FitNLogN(ns, ys []float64) (Fit, error) {
+	if err := checkXY(ns, ys, 2); err != nil {
+		return Fit{}, err
+	}
+	return fitSingle(ns, ys, "c*n*ln(n)", func(n float64) float64 { return n * math.Log(n) })
+}
+
+func fitSingle(ns, ys []float64, model string, basis func(float64) float64) (Fit, error) {
+	num, den := 0.0, 0.0
+	for i := range ns {
+		x := basis(ns[i])
+		num += x * ys[i]
+		den += x * x
+	}
+	if den == 0 {
+		return Fit{}, errors.New("stats: degenerate basis")
+	}
+	f := Fit{Model: model, A: num / den}
+	f.R2, f.RMSE = goodness(ns, ys, f.Eval)
+	// Standard error of the through-origin coefficient:
+	// se(c)² = (Σr²/(N−1)) / Σx².
+	if len(ns) > 1 {
+		ssRes := 0.0
+		for i := range ns {
+			r := ys[i] - f.Eval(ns[i])
+			ssRes += r * r
+		}
+		f.ASE = math.Sqrt(ssRes / float64(len(ns)-1) / den)
+	}
+	return f, nil
+}
+
+// FitCombined fits y ≈ a·n + b·n·ln n by ordinary least squares on the
+// two basis functions.
+func FitCombined(ns, ys []float64) (Fit, error) {
+	if err := checkXY(ns, ys, 3); err != nil {
+		return Fit{}, err
+	}
+	// Normal equations for the 2-column design matrix [n, n·ln n].
+	var s11, s12, s22, t1, t2 float64
+	for i := range ns {
+		x1 := ns[i]
+		x2 := ns[i] * math.Log(ns[i])
+		s11 += x1 * x1
+		s12 += x1 * x2
+		s22 += x2 * x2
+		t1 += x1 * ys[i]
+		t2 += x2 * ys[i]
+	}
+	det := s11*s22 - s12*s12
+	if math.Abs(det) < 1e-12*s11*s22 || det == 0 {
+		return Fit{}, errors.New("stats: collinear design (too-narrow n range)")
+	}
+	f := Fit{
+		Model: "a*n + b*n*ln(n)",
+		A:     (s22*t1 - s12*t2) / det,
+		B:     (s11*t2 - s12*t1) / det,
+	}
+	f.R2, f.RMSE = goodness(ns, ys, f.Eval)
+	return f, nil
+}
+
+func goodness(ns, ys []float64, eval func(float64) float64) (r2, rmse float64) {
+	mean := 0.0
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(len(ys))
+	ssRes, ssTot := 0.0, 0.0
+	for i := range ns {
+		d := ys[i] - eval(ns[i])
+		ssRes += d * d
+		dm := ys[i] - mean
+		ssTot += dm * dm
+	}
+	rmse = math.Sqrt(ssRes / float64(len(ns)))
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1, rmse
+		}
+		return 0, rmse
+	}
+	return 1 - ssRes/ssTot, rmse
+}
+
+// Growth classifies a cover-time curve, mirroring the paper's Figure 1
+// reading: fit both c·n and c·n·ln n and report which explains the data
+// better, with the normalised-curve slope as a tie-breaker.
+type Growth struct {
+	Verdict string // "linear" or "nlogn"
+	Linear  Fit
+	NLogN   Fit
+	// SlopeRatio is (last − first) / first of the normalised series
+	// y/n: near 0 for linear growth, markedly positive for n·log n.
+	SlopeRatio float64
+}
+
+// ClassifyGrowth decides between Θ(n) and Θ(n log n) growth for the
+// measured points. ns must be increasing.
+func ClassifyGrowth(ns, ys []float64) (Growth, error) {
+	if err := checkXY(ns, ys, 3); err != nil {
+		return Growth{}, err
+	}
+	lin, err := FitLinear(ns, ys)
+	if err != nil {
+		return Growth{}, err
+	}
+	nln, err := FitNLogN(ns, ys)
+	if err != nil {
+		return Growth{}, err
+	}
+	g := Growth{Linear: lin, NLogN: nln}
+	first := ys[0] / ns[0]
+	last := ys[len(ys)-1] / ns[len(ns)-1]
+	if first > 0 {
+		g.SlopeRatio = (last - first) / first
+	}
+	// Primary criterion: residuals. Secondary: a normalised series
+	// that grows by more than the ln-ratio's half is not flat.
+	lnGrowth := math.Log(ns[len(ns)-1]) / math.Log(ns[0])
+	switch {
+	case nln.RMSE < lin.RMSE && g.SlopeRatio > 0.25*(lnGrowth-1):
+		g.Verdict = "nlogn"
+	case lin.RMSE <= nln.RMSE:
+		g.Verdict = "linear"
+	default:
+		// Residuals prefer n·ln n but the normalised curve is flat;
+		// call it linear (the constant in c·n·ln n is absorbing a
+		// constant factor).
+		g.Verdict = "linear"
+	}
+	return g, nil
+}
+
+// BootstrapCI returns a (lo, hi) percentile bootstrap confidence
+// interval for the mean of xs at the given level (e.g. 0.95), using a
+// deterministic resampling sequence derived from the data length (no
+// RNG dependency; adequate for experiment error bars).
+func BootstrapCI(xs []float64, level float64, resamples int, next func() uint64) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrNoData
+	}
+	if level <= 0 || level >= 1 {
+		return 0, 0, errors.New("stats: level must be in (0,1)")
+	}
+	if resamples < 10 {
+		resamples = 200
+	}
+	means := make([]float64, resamples)
+	n := uint64(len(xs))
+	for b := 0; b < resamples; b++ {
+		sum := 0.0
+		for i := 0; i < len(xs); i++ {
+			sum += xs[next()%n]
+		}
+		means[b] = sum / float64(len(xs))
+	}
+	alpha := (1 - level) / 2
+	lo, err = Quantile(means, alpha)
+	if err != nil {
+		return 0, 0, err
+	}
+	hi, err = Quantile(means, 1-alpha)
+	return lo, hi, err
+}

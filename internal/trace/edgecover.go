@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/walk"
+)
+
+// RunUntilEdgeCover drives p until every edge has been traversed (or
+// the budget runs out) and returns the recording. Lazy stays (edge ID
+// −1) are recorded as visits without traversals.
+func RunUntilEdgeCover(p walk.Process, maxSteps int64) (*Recorder, error) {
+	g := p.Graph()
+	if maxSteps <= 0 {
+		maxSteps = int64(g.N()+g.M()) * 1000000
+	}
+	r := NewRecorder(p)
+	for r.edgesSeen < g.M() {
+		if r.Steps >= maxSteps {
+			return r, fmt.Errorf("%w: %d edges untraversed", walk.ErrStepBudget, g.M()-r.edgesSeen)
+		}
+		e, v := p.Step()
+		r.Observe(e, v)
+	}
+	return r, nil
+}
+
+// PhaseSplit summarises where a fraction of first visits happened
+// relative to a step boundary: the number of vertices first visited at
+// or before step t, and after it. For the E-process, calling it with
+// t = m shows how much of the graph the (at most m) blue steps alone
+// discovered.
+func (r *Recorder) PhaseSplit(t int64) (atOrBefore, after, never int) {
+	for _, fv := range r.FirstVisit {
+		switch {
+		case fv == -1:
+			never++
+		case fv <= t:
+			atOrBefore++
+		default:
+			after++
+		}
+	}
+	return atOrBefore, after, never
+}

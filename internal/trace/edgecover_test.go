@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/walk"
+)
+
+func TestRunUntilEdgeCover(t *testing.T) {
+	g, err := gen.RandomRegularSW(newRand(20), 50, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := walk.NewEProcess(g, newRand(21), nil, 0)
+	r, err := RunUntilEdgeCover(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EdgesSeen() != g.M() {
+		t.Fatalf("edges seen = %d, want %d", r.EdgesSeen(), g.M())
+	}
+	// Every vertex must have been visited too (edge cover ⊃ vertex
+	// cover on graphs without isolated vertices).
+	if r.VerticesSeen() != g.N() {
+		t.Errorf("vertices seen = %d, want %d", r.VerticesSeen(), g.N())
+	}
+}
+
+func TestRunUntilEdgeCoverBudget(t *testing.T) {
+	g, err := gen.Cycle(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := walk.NewSimple(g, newRand(22), 0)
+	if _, err := RunUntilEdgeCover(p, 5); err == nil {
+		t.Error("tiny budget should fail")
+	}
+}
+
+func TestPhaseSplit(t *testing.T) {
+	g, err := gen.RandomRegularSW(newRand(23), 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := walk.NewEProcess(g, newRand(24), nil, 0)
+	r, err := RunUntilVertexCover(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atM, after, never := r.PhaseSplit(int64(g.M()))
+	if never != 0 {
+		t.Errorf("never = %d after full cover", never)
+	}
+	if atM+after != g.N() {
+		t.Errorf("split %d+%d != n", atM, after)
+	}
+	// The E-process discovers the overwhelming majority of vertices
+	// within its first m steps (mostly blue).
+	if atM < g.N()*9/10 {
+		t.Errorf("only %d/%d vertices within m steps", atM, g.N())
+	}
+	// Degenerate boundary: t = 0 counts only the start vertex.
+	at0, _, _ := r.PhaseSplit(0)
+	if at0 != 1 {
+		t.Errorf("t=0 split = %d, want 1", at0)
+	}
+}

@@ -1,0 +1,66 @@
+package walk
+
+import "testing"
+
+func benchGraph(b *testing.B, n, d int) *EProcess {
+	b.Helper()
+	g := mustRegular(b, newRand(1), n, d)
+	return NewEProcess(g, newRand(2), nil, 0)
+}
+
+func BenchmarkEProcessStep(b *testing.B) {
+	e := benchGraph(b, 10000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+func BenchmarkSimpleStep(b *testing.B) {
+	g := mustRegular(b, newRand(3), 10000, 4)
+	w := NewSimple(g, newRand(4), 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Step()
+	}
+}
+
+func BenchmarkChoiceStep(b *testing.B) {
+	g := mustRegular(b, newRand(5), 10000, 4)
+	c := NewChoice(g, newRand(6), 2, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step()
+	}
+}
+
+func BenchmarkRotorStep(b *testing.B) {
+	g := mustRegular(b, newRand(7), 10000, 4)
+	ro := NewRotor(g, newRand(8), 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ro.Step()
+	}
+}
+
+func BenchmarkEProcessFullVertexCover(b *testing.B) {
+	g := mustRegular(b, newRand(9), 5000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewEProcess(g, newRand(int64(i)), nil, 0)
+		if _, err := VertexCoverSteps(e, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSRWFullVertexCover(b *testing.B) {
+	g := mustRegular(b, newRand(10), 5000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := NewSimple(g, newRand(int64(i)), 0)
+		if _, err := VertexCoverSteps(w, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

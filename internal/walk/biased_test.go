@@ -1,0 +1,78 @@
+package walk
+
+import "testing"
+
+func TestBiasedExtremes(t *testing.T) {
+	g := mustRegular(t, newRand(70), 200, 4)
+	// bias=1 behaves like the E-process: edge cover ≈ m + small tail.
+	b1 := NewBiased(g, newRand(71), 1, 0)
+	e1, err := EdgeCoverSteps(b1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bias=0 behaves like the SRW: edge cover = Θ(m log m).
+	b0 := NewBiased(g, newRand(71), 0, 0)
+	e0, err := EdgeCoverSteps(b0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 >= e0 {
+		t.Errorf("full bias (%d) should beat zero bias (%d)", e1, e0)
+	}
+	if e1 < int64(g.M()) {
+		t.Errorf("edge cover %d below m", e1)
+	}
+}
+
+func TestBiasedClamping(t *testing.T) {
+	g := mustCycle(t, 10)
+	lo := NewBiased(g, newRand(72), -0.5, 0)
+	if lo.Bias() != 0 {
+		t.Errorf("bias = %v, want clamp to 0", lo.Bias())
+	}
+	hi := NewBiased(g, newRand(72), 1.5, 0)
+	if hi.Bias() != 1 {
+		t.Errorf("bias = %v, want clamp to 1", hi.Bias())
+	}
+}
+
+func TestBiasedMonotoneInBias(t *testing.T) {
+	// Average vertex cover should not get dramatically worse as bias
+	// rises; check coarse ordering between 0.0 and 0.9 over trials.
+	g := mustRegular(t, newRand(73), 150, 4)
+	avg := func(bias float64) float64 {
+		const trials = 12
+		var total int64
+		for i := 0; i < trials; i++ {
+			b := NewBiased(g, newRand(int64(500+i)), bias, 0)
+			s, err := VertexCoverSteps(b, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += s
+		}
+		return float64(total) / trials
+	}
+	if hi, lo := avg(0.9), avg(0.0); hi >= lo {
+		t.Errorf("bias 0.9 (%v) should cover faster than bias 0 (%v)", hi, lo)
+	}
+}
+
+func TestBiasedReset(t *testing.T) {
+	g := mustCycle(t, 8)
+	b := NewBiased(g, newRand(74), 0.5, 3)
+	for i := 0; i < 20; i++ {
+		b.Step()
+	}
+	b.Reset(0)
+	if b.Current() != 0 {
+		t.Error("reset did not move walker")
+	}
+	steps, err := EdgeCoverSteps(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps < int64(g.M()) {
+		t.Error("impossible cover after reset")
+	}
+}

@@ -1,0 +1,74 @@
+package walk
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Choice is Avin & Krishnamachari's random walk with choice RWC(d):
+// at each step sample d incident half-edges uniformly at random (with
+// replacement) and move to the endpoint that has been visited the
+// fewest times, breaking ties uniformly among the sampled minima.
+// RWC(1) is the simple random walk.
+type Choice struct {
+	g      *graph.Graph
+	r      *rand.Rand
+	d      int
+	visits []int64 // per-vertex visit counts, start vertex counts once
+	cur    int
+}
+
+var _ Process = (*Choice)(nil)
+
+// NewChoice returns an RWC(d) walk on g starting at start. d must be
+// at least 1.
+func NewChoice(g *graph.Graph, r *rand.Rand, d, start int) *Choice {
+	if d < 1 {
+		d = 1
+	}
+	c := &Choice{g: g, r: r, d: d}
+	c.Reset(start)
+	return c
+}
+
+// Graph implements Process.
+func (c *Choice) Graph() *graph.Graph { return c.g }
+
+// Current implements Process.
+func (c *Choice) Current() int { return c.cur }
+
+// Visits returns the number of times v has been occupied (the start
+// vertex counts once at time 0).
+func (c *Choice) Visits(v int) int64 { return c.visits[v] }
+
+// Step implements Process.
+func (c *Choice) Step() (int, int) {
+	adj := c.g.Adj(c.cur)
+	best := adj[c.r.Intn(len(adj))]
+	bestVisits := c.visits[best.To]
+	ties := 1
+	for i := 1; i < c.d; i++ {
+		h := adj[c.r.Intn(len(adj))]
+		switch vc := c.visits[h.To]; {
+		case vc < bestVisits:
+			best, bestVisits, ties = h, vc, 1
+		case vc == bestVisits:
+			// Reservoir-style uniform tie break among sampled minima.
+			ties++
+			if c.r.Intn(ties) == 0 {
+				best = h
+			}
+		}
+	}
+	c.cur = best.To
+	c.visits[c.cur]++
+	return best.ID, c.cur
+}
+
+// Reset implements Process.
+func (c *Choice) Reset(start int) {
+	c.cur = start
+	c.visits = make([]int64, c.g.N())
+	c.visits[start] = 1
+}

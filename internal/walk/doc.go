@@ -1,0 +1,32 @@
+// Package walk implements the walk processes the paper studies and the
+// processes it compares against, together with the cover-time machinery
+// that measures them.
+//
+// The processes:
+//
+//   - Simple: the simple random walk (SRW), optionally lazy, the
+//     baseline for every bound in the paper.
+//   - Weighted: a reversible weighted random walk, the class for which
+//     Theorem 5 (Radzik's Ω(n log n) lower bound) is stated.
+//   - EProcess: the paper's contribution — a walk that crosses an
+//     unvisited ("blue") incident edge whenever one exists, choosing
+//     among them by an arbitrary pluggable Rule A, and performs a
+//     simple-random-walk step on visited ("red") edges otherwise.
+//     With the uniform rule this is exactly Orenshtein & Shinkar's
+//     Greedy Random Walk.
+//   - Choice: Avin & Krishnamachari's random walk with choice RWC(d):
+//     sample d neighbours, move to the least-visited.
+//   - Rotor: the rotor-router (Propp machine), the deterministic
+//     sibling with O(mD) cover time.
+//   - OldestFirst / LeastUsedFirst: the locally fair exploration
+//     strategies of Cooper, Ilcinkas, Klasing and Kosowski, cited by
+//     the paper for their exponential-vs-polynomial contrast.
+//
+// All processes implement Process: one edge transition per Step call,
+// reporting the edge traversed, so that the generic drivers
+// (VertexCoverSteps, EdgeCoverSteps, CoverTimes) can measure vertex and
+// edge cover times for any of them without knowing their internals.
+//
+// Randomised processes draw from an injected *rand.Rand; given equal
+// seeds, runs are bit-for-bit reproducible.
+package walk

@@ -1,0 +1,224 @@
+package walk
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Phase identifies whether the E-process is following unvisited (blue)
+// or visited (red) edges, in the paper's colouring metaphor.
+type Phase int
+
+// Phases of the E-process.
+const (
+	PhaseBlue Phase = iota + 1 // traversing unvisited edges
+	PhaseRed                   // simple random walk on visited edges
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseBlue:
+		return "blue"
+	case PhaseRed:
+		return "red"
+	default:
+		return "unknown"
+	}
+}
+
+// Stats aggregates the phase structure of an E-process trajectory.
+type Stats struct {
+	RedSteps   int64 // transitions along previously visited edges
+	BlueSteps  int64 // transitions along unvisited edges (≤ m always)
+	BluePhases int64 // maximal runs of blue transitions
+	RedPhases  int64 // maximal runs of red transitions
+}
+
+// Total returns the total number of steps.
+func (s Stats) Total() int64 { return s.RedSteps + s.BlueSteps }
+
+// EProcess is the paper's edge-process. At each step:
+//
+//   - if the current vertex has unvisited incident edges, cross one of
+//     them (chosen by the Rule) and mark it visited — a blue step;
+//   - otherwise take a simple-random-walk step over the (visited)
+//     incident edges — a red step.
+//
+// The Rule is the paper's "rule A": it may be random, deterministic, or
+// adversarial; Theorem 1's bound is independent of it.
+type EProcess struct {
+	g    *graph.Graph
+	r    *rand.Rand
+	rule Rule
+
+	cur     int
+	visited []bool // by edge ID
+
+	// pending[v] holds candidate unvisited half-edges at v. Entries
+	// whose edge has since been visited (from the other endpoint) are
+	// pruned lazily on access; each half is pruned at most once, so
+	// maintenance is O(m) over the whole run.
+	pending [][]graph.Half
+
+	stats Stats
+	phase Phase
+
+	// Optional phase-length recording (RecordPhases).
+	recordPhases bool
+	phaseLens    []int64
+	curPhaseLen  int64
+}
+
+var _ Process = (*EProcess)(nil)
+
+// NewEProcess returns an E-process on g starting at start, choosing
+// among unvisited edges with rule (nil means the uniform rule, i.e.
+// Orenshtein & Shinkar's Greedy Random Walk).
+func NewEProcess(g *graph.Graph, r *rand.Rand, rule Rule, start int) *EProcess {
+	if rule == nil {
+		rule = Uniform{}
+	}
+	e := &EProcess{g: g, r: r, rule: rule}
+	e.init(start)
+	return e
+}
+
+func (e *EProcess) init(start int) {
+	e.cur = start
+	e.visited = make([]bool, e.g.M())
+	e.pending = make([][]graph.Half, e.g.N())
+	for v := 0; v < e.g.N(); v++ {
+		adj := e.g.Adj(v)
+		e.pending[v] = make([]graph.Half, len(adj))
+		copy(e.pending[v], adj)
+	}
+	e.stats = Stats{}
+	e.phase = 0
+	e.phaseLens = nil
+	e.curPhaseLen = 0
+	e.rule.Reset(e.g)
+}
+
+// Graph implements Process.
+func (e *EProcess) Graph() *graph.Graph { return e.g }
+
+// Current implements Process.
+func (e *EProcess) Current() int { return e.cur }
+
+// Rand returns the process's random source, for use by randomised
+// Rules.
+func (e *EProcess) Rand() *rand.Rand { return e.r }
+
+// EdgeVisited reports whether edge id has been traversed.
+func (e *EProcess) EdgeVisited(id int) bool { return e.visited[id] }
+
+// BlueDegree returns the number of unvisited edge-endpoints at v (loops
+// count twice), i.e. the blue degree of Observation 10.
+func (e *EProcess) BlueDegree(v int) int {
+	e.prune(v)
+	return len(e.pending[v])
+}
+
+// UnvisitedEdgeIDs returns the IDs of all currently unvisited edges, in
+// increasing order. Used by the blue-component analysis.
+func (e *EProcess) UnvisitedEdgeIDs() []int {
+	var out []int
+	for id, vis := range e.visited {
+		if !vis {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Stats returns the phase statistics accumulated so far.
+func (e *EProcess) Stats() Stats { return e.stats }
+
+// RecordPhases enables per-blue-phase length recording (disabled by
+// default to keep the hot path allocation-free). Call before stepping.
+func (e *EProcess) RecordPhases(on bool) { e.recordPhases = on }
+
+// BluePhaseLengths returns the lengths of completed blue phases, in
+// order, when recording is enabled. The structural prediction from the
+// proof of Lemma 15 is that the first phase is macroscopic (Euler-like
+// on an even-degree graph: a constant fraction of m) and later phases
+// shrink as the blue territory fragments.
+func (e *EProcess) BluePhaseLengths() []int64 {
+	out := make([]int64, len(e.phaseLens), len(e.phaseLens)+1)
+	copy(out, e.phaseLens)
+	if e.curPhaseLen > 0 {
+		out = append(out, e.curPhaseLen) // phase still open at query time
+	}
+	return out
+}
+
+// Phase returns the colour of the most recent step (0 before any step).
+func (e *EProcess) Phase() Phase { return e.phase }
+
+// prune removes half-edges whose edge has been visited from pending[v].
+func (e *EProcess) prune(v int) {
+	p := e.pending[v]
+	for i := 0; i < len(p); {
+		if e.visited[p[i].ID] {
+			p[i] = p[len(p)-1]
+			p = p[:len(p)-1]
+		} else {
+			i++
+		}
+	}
+	e.pending[v] = p
+}
+
+// Step implements Process.
+func (e *EProcess) Step() (int, int) {
+	v := e.cur
+	e.prune(v)
+	p := e.pending[v]
+	if len(p) > 0 {
+		// Blue step: the rule chooses which unvisited edge to cross.
+		// The paper allows arbitrary (even adversarial) rules, so the
+		// process validates the choice rather than trusting it: a rule
+		// returning an out-of-range index is a bug worth failing loudly
+		// on, not silently walking a corrupted trajectory.
+		idx := e.rule.Choose(e, v, p)
+		if idx < 0 || idx >= len(p) {
+			panic(fmt.Sprintf("walk: rule %q chose index %d among %d unvisited edges at vertex %d",
+				e.rule.Name(), idx, len(p), v))
+		}
+		h := p[idx]
+		e.visited[h.ID] = true
+		// Swap-remove the chosen half; its twin at the far endpoint is
+		// pruned lazily when that vertex is next queried.
+		p[idx] = p[len(p)-1]
+		e.pending[v] = p[:len(p)-1]
+		e.cur = h.To
+		e.stats.BlueSteps++
+		if e.phase != PhaseBlue {
+			e.stats.BluePhases++
+			e.phase = PhaseBlue
+		}
+		if e.recordPhases {
+			e.curPhaseLen++
+		}
+		return h.ID, e.cur
+	}
+	// Red step: simple random walk over the full adjacency.
+	adj := e.g.Adj(v)
+	h := adj[e.r.Intn(len(adj))]
+	e.cur = h.To
+	e.stats.RedSteps++
+	if e.phase != PhaseRed {
+		e.stats.RedPhases++
+		e.phase = PhaseRed
+		if e.recordPhases && e.curPhaseLen > 0 {
+			e.phaseLens = append(e.phaseLens, e.curPhaseLen)
+			e.curPhaseLen = 0
+		}
+	}
+	return h.ID, e.cur
+}
+
+// Reset implements Process.
+func (e *EProcess) Reset(start int) { e.init(start) }

@@ -1,0 +1,123 @@
+package walk
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// LeastUsedFirst is the locally fair exploration strategy of Cooper,
+// Ilcinkas, Klasing and Kosowski: at each step traverse the incident
+// edge crossed the fewest times so far (ties broken uniformly at
+// random). It covers all edges in O(mD) steps and equalises edge
+// frequencies in the long run.
+type LeastUsedFirst struct {
+	g    *graph.Graph
+	r    *rand.Rand
+	used []int64 // per-edge traversal counts
+	cur  int
+}
+
+var _ Process = (*LeastUsedFirst)(nil)
+
+// NewLeastUsedFirst returns a least-used-first walk starting at start.
+func NewLeastUsedFirst(g *graph.Graph, r *rand.Rand, start int) *LeastUsedFirst {
+	l := &LeastUsedFirst{g: g, r: r}
+	l.Reset(start)
+	return l
+}
+
+// Graph implements Process.
+func (l *LeastUsedFirst) Graph() *graph.Graph { return l.g }
+
+// Current implements Process.
+func (l *LeastUsedFirst) Current() int { return l.cur }
+
+// Uses returns how many times edge id has been traversed.
+func (l *LeastUsedFirst) Uses(id int) int64 { return l.used[id] }
+
+// Step implements Process.
+func (l *LeastUsedFirst) Step() (int, int) {
+	adj := l.g.Adj(l.cur)
+	best := adj[0]
+	bestUsed := l.used[best.ID]
+	ties := 1
+	for _, h := range adj[1:] {
+		switch u := l.used[h.ID]; {
+		case u < bestUsed:
+			best, bestUsed, ties = h, u, 1
+		case u == bestUsed:
+			ties++
+			if l.r.Intn(ties) == 0 {
+				best = h
+			}
+		}
+	}
+	l.used[best.ID]++
+	l.cur = best.To
+	return best.ID, l.cur
+}
+
+// Reset implements Process.
+func (l *LeastUsedFirst) Reset(start int) {
+	l.cur = start
+	l.used = make([]int64, l.g.M())
+}
+
+// OldestFirst is the companion strategy: traverse the incident edge
+// that has waited longest since its last traversal (never-traversed
+// edges are oldest, ties broken uniformly). Cooper et al. show this
+// rule can be exponentially slow on some graphs, a contrast the
+// comparison bench exercises.
+type OldestFirst struct {
+	g    *graph.Graph
+	r    *rand.Rand
+	last []int64 // step of most recent traversal; 0 = never
+	step int64
+	cur  int
+}
+
+var _ Process = (*OldestFirst)(nil)
+
+// NewOldestFirst returns an oldest-first walk starting at start.
+func NewOldestFirst(g *graph.Graph, r *rand.Rand, start int) *OldestFirst {
+	o := &OldestFirst{g: g, r: r}
+	o.Reset(start)
+	return o
+}
+
+// Graph implements Process.
+func (o *OldestFirst) Graph() *graph.Graph { return o.g }
+
+// Current implements Process.
+func (o *OldestFirst) Current() int { return o.cur }
+
+// Step implements Process.
+func (o *OldestFirst) Step() (int, int) {
+	adj := o.g.Adj(o.cur)
+	best := adj[0]
+	bestLast := o.last[best.ID]
+	ties := 1
+	for _, h := range adj[1:] {
+		switch lt := o.last[h.ID]; {
+		case lt < bestLast:
+			best, bestLast, ties = h, lt, 1
+		case lt == bestLast:
+			ties++
+			if o.r.Intn(ties) == 0 {
+				best = h
+			}
+		}
+	}
+	o.step++
+	o.last[best.ID] = o.step
+	o.cur = best.To
+	return best.ID, o.cur
+}
+
+// Reset implements Process.
+func (o *OldestFirst) Reset(start int) {
+	o.cur = start
+	o.last = make([]int64, o.g.M())
+	o.step = 0
+}

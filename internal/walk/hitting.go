@@ -1,0 +1,141 @@
+package walk
+
+import (
+	"errors"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// EstimateHittingTime estimates E_u(H_v), the expected first-visit time
+// of v by a simple random walk from u, by Monte Carlo over trials runs.
+func EstimateHittingTime(g *graph.Graph, r *rand.Rand, u, v, trials int, maxSteps int64) (float64, error) {
+	if trials <= 0 {
+		return 0, errors.New("walk: trials must be positive")
+	}
+	total := 0.0
+	w := NewSimple(g, r, u)
+	for i := 0; i < trials; i++ {
+		w.Reset(u)
+		steps, err := HitSteps(w, v, maxSteps)
+		if err != nil {
+			return 0, err
+		}
+		total += float64(steps)
+	}
+	return total / float64(trials), nil
+}
+
+// EstimateCommuteTime estimates K(u,v) = E_u(T_uv) + E_v(T_vu), the
+// commute time of Section 2.2.
+func EstimateCommuteTime(g *graph.Graph, r *rand.Rand, u, v, trials int, maxSteps int64) (float64, error) {
+	uv, err := EstimateHittingTime(g, r, u, v, trials, maxSteps)
+	if err != nil {
+		return 0, err
+	}
+	vu, err := EstimateHittingTime(g, r, v, u, trials, maxSteps)
+	if err != nil {
+		return 0, err
+	}
+	return uv + vu, nil
+}
+
+// EstimateReturnTime estimates E_u(T_u^+), the expected first-return
+// time, whose exact value is 1/π_u = 2m/d(u) (Section 2.2). Tests use
+// the exact identity to validate the walk implementation.
+func EstimateReturnTime(g *graph.Graph, r *rand.Rand, u, trials int, maxSteps int64) (float64, error) {
+	if trials <= 0 {
+		return 0, errors.New("walk: trials must be positive")
+	}
+	total := 0.0
+	w := NewSimple(g, r, u)
+	for i := 0; i < trials; i++ {
+		w.Reset(u)
+		// First return: take one forced step, then hit u.
+		w.Step()
+		steps, err := HitSteps(w, u, maxSteps)
+		if err != nil {
+			return 0, err
+		}
+		total += float64(steps) + 1
+	}
+	return total / float64(trials), nil
+}
+
+// BlanketTime runs a simple random walk until every vertex v has been
+// visited at least delta·π_v·t times at step t (Ding–Lee–Peres blanket
+// time τ_bl(δ), used by the paper to bound edge cover time in eq. (4)).
+// Returns the stopping step.
+func BlanketTime(g *graph.Graph, r *rand.Rand, start int, delta float64, maxSteps int64) (int64, error) {
+	if delta <= 0 || delta >= 1 {
+		return 0, errors.New("walk: delta must be in (0,1)")
+	}
+	if maxSteps <= 0 {
+		maxSteps = defaultBudget(g.N()) * 4
+	}
+	n := g.N()
+	m := float64(g.M())
+	visits := make([]int64, n)
+	visits[start] = 1
+	w := NewSimple(g, r, start)
+	var t int64
+	// Checking the blanket condition is O(n); do it at geometrically
+	// spaced checkpoints to keep the total cost near-linear.
+	next := int64(n)
+	for t < maxSteps {
+		_, v := w.Step()
+		t++
+		visits[v]++
+		if t < next {
+			continue
+		}
+		next += next / 4
+		ok := true
+		for u := 0; u < n; u++ {
+			pi := float64(g.Degree(u)) / (2 * m)
+			if float64(visits[u]) < delta*pi*float64(t) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return t, nil
+		}
+	}
+	return t, ErrStepBudget
+}
+
+// VisitAllAtLeast runs a simple random walk until every vertex has been
+// occupied at least k times, returning the stopping step — the T(r)
+// quantity the paper uses in its eq. (4) edge-cover argument (a vertex
+// visited d(v) times by the embedded walk has all incident edges
+// explored).
+func VisitAllAtLeast(g *graph.Graph, r *rand.Rand, start, k int, maxSteps int64) (int64, error) {
+	if k < 1 {
+		return 0, errors.New("walk: k must be at least 1")
+	}
+	if maxSteps <= 0 {
+		maxSteps = defaultBudget(g.N()) * int64(k+1)
+	}
+	n := g.N()
+	visits := make([]int, n)
+	visits[start] = 1
+	below := n
+	if k == 1 {
+		below = n - 1
+	}
+	w := NewSimple(g, r, start)
+	var t int64
+	for below > 0 {
+		if t >= maxSteps {
+			return t, ErrStepBudget
+		}
+		_, v := w.Step()
+		t++
+		visits[v]++
+		if visits[v] == k {
+			below--
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,58 @@
+package walk
+
+import "testing"
+
+// Regression: lazy stays report edge ID −1 and must not break the
+// cover drivers' edge bookkeeping.
+func TestLazyWalkCoverDrivers(t *testing.T) {
+	g := mustCycle(t, 12)
+	w := NewLazy(g, newRand(50), 0)
+	if _, err := VertexCoverSteps(w, 0); err != nil {
+		t.Fatal(err)
+	}
+	w.Reset(0)
+	steps, err := EdgeCoverSteps(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps < int64(g.M()) {
+		t.Errorf("edge cover in %d steps impossible", steps)
+	}
+	w.Reset(0)
+	ct, err := Cover(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Edge < ct.Vertex {
+		t.Error("edge cover cannot precede vertex cover on a cycle")
+	}
+	w.Reset(0)
+	if _, err := HitSteps(w, 6, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The lazy walk must roughly double the cover time of the plain walk.
+func TestLazyWalkSlowdown(t *testing.T) {
+	g := mustRegular(t, newRand(51), 100, 4)
+	const trials = 30
+	var plain, lazy int64
+	for i := 0; i < trials; i++ {
+		w := NewSimple(g, newRand(int64(100+i)), 0)
+		s, err := VertexCoverSteps(w, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain += s
+		l := NewLazy(g, newRand(int64(200+i)), 0)
+		s, err = VertexCoverSteps(l, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lazy += s
+	}
+	ratio := float64(lazy) / float64(plain)
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Errorf("lazy/plain cover ratio = %v, want ≈2", ratio)
+	}
+}

@@ -1,0 +1,157 @@
+package walk
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// ErrStepBudget is returned by the cover drivers when the walk fails to
+// cover within the caller's step budget.
+var ErrStepBudget = errors.New("walk: step budget exhausted before cover")
+
+// Process is a vertex-to-vertex walk advanced one edge transition at a
+// time.
+type Process interface {
+	// Graph returns the underlying graph.
+	Graph() *graph.Graph
+	// Current returns the vertex the walk occupies.
+	Current() int
+	// Step performs one edge transition and returns the edge ID
+	// traversed and the new current vertex.
+	Step() (edgeID, vertex int)
+	// Reset returns the process to its initial state at the given
+	// start vertex, clearing all visitation memory.
+	Reset(start int)
+}
+
+// VertexCoverSteps runs p until every vertex of its graph has been
+// visited (the start vertex counts as visited at step 0) and returns
+// the number of steps taken. maxSteps caps the run; maxSteps <= 0 means
+// a default of 10000·n·ceil(log2 n) steps, far beyond any process here
+// on connected graphs.
+func VertexCoverSteps(p Process, maxSteps int64) (int64, error) {
+	g := p.Graph()
+	n := g.N()
+	if maxSteps <= 0 {
+		maxSteps = defaultBudget(n)
+	}
+	seen := make([]bool, n)
+	seen[p.Current()] = true
+	remaining := n - 1
+	var steps int64
+	for remaining > 0 {
+		if steps >= maxSteps {
+			return steps, fmt.Errorf("%w: %d vertices unvisited after %d steps", ErrStepBudget, remaining, steps)
+		}
+		_, v := p.Step()
+		steps++
+		if !seen[v] {
+			seen[v] = true
+			remaining--
+		}
+	}
+	return steps, nil
+}
+
+// EdgeCoverSteps runs p until every edge of its graph has been
+// traversed at least once and returns the number of steps taken.
+func EdgeCoverSteps(p Process, maxSteps int64) (int64, error) {
+	g := p.Graph()
+	m := g.M()
+	if maxSteps <= 0 {
+		maxSteps = defaultBudget(g.N() + m)
+	}
+	seen := make([]bool, m)
+	remaining := m
+	var steps int64
+	for remaining > 0 {
+		if steps >= maxSteps {
+			return steps, fmt.Errorf("%w: %d edges untraversed after %d steps", ErrStepBudget, remaining, steps)
+		}
+		e, _ := p.Step()
+		steps++
+		if e >= 0 && !seen[e] { // e < 0 marks a lazy stay: no edge crossed
+			seen[e] = true
+			remaining--
+		}
+	}
+	return steps, nil
+}
+
+// CoverTimes reports both cover times from a single trajectory: the
+// step at which the last vertex was first visited and the step at which
+// the last edge was first traversed.
+type CoverTimes struct {
+	Vertex int64 // steps to visit all vertices
+	Edge   int64 // steps to traverse all edges
+}
+
+// Cover runs p until both vertices and edges are covered.
+func Cover(p Process, maxSteps int64) (CoverTimes, error) {
+	g := p.Graph()
+	n, m := g.N(), g.M()
+	if maxSteps <= 0 {
+		maxSteps = defaultBudget(n + m)
+	}
+	seenV := make([]bool, n)
+	seenV[p.Current()] = true
+	seenE := make([]bool, m)
+	leftV, leftE := n-1, m
+	var ct CoverTimes
+	var steps int64
+	for leftV > 0 || leftE > 0 {
+		if steps >= maxSteps {
+			return ct, fmt.Errorf("%w: %d vertices, %d edges uncovered after %d steps", ErrStepBudget, leftV, leftE, steps)
+		}
+		e, v := p.Step()
+		steps++
+		if leftV > 0 && !seenV[v] {
+			seenV[v] = true
+			leftV--
+			if leftV == 0 {
+				ct.Vertex = steps
+			}
+		}
+		if leftE > 0 && e >= 0 && !seenE[e] { // e < 0 marks a lazy stay
+			seenE[e] = true
+			leftE--
+			if leftE == 0 {
+				ct.Edge = steps
+			}
+		}
+	}
+	return ct, nil
+}
+
+// HitSteps runs p until it first occupies target, returning the number
+// of steps (0 when the walk already sits on target).
+func HitSteps(p Process, target int, maxSteps int64) (int64, error) {
+	if p.Current() == target {
+		return 0, nil
+	}
+	if maxSteps <= 0 {
+		maxSteps = defaultBudget(p.Graph().N())
+	}
+	var steps int64
+	for {
+		if steps >= maxSteps {
+			return steps, fmt.Errorf("%w: vertex %d not hit", ErrStepBudget, target)
+		}
+		_, v := p.Step()
+		steps++
+		if v == target {
+			return steps, nil
+		}
+	}
+}
+
+func defaultBudget(size int) int64 {
+	b := int64(size) * 10000
+	log := 1
+	for s := size; s > 1; s >>= 1 {
+		log++
+	}
+	return b * int64(log)
+}

@@ -1,0 +1,62 @@
+package walk
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Rotor is the rotor-router (Propp machine): each vertex carries a
+// rotor over its incident half-edges in fixed adjacency order; a step
+// crosses the rotor's current half-edge and advances the rotor. After
+// an initial rotor configuration the process is fully deterministic,
+// and its vertex cover time is O(mD) (Yanovski, Wagner, Bruckstein).
+// The paper positions the E-process as a hybrid between this machine
+// and a random walk.
+type Rotor struct {
+	g     *graph.Graph
+	rotor []int // per-vertex index into Adj(v)
+	cur   int
+
+	// initRandom remembers whether Reset should re-randomise rotors.
+	r *rand.Rand
+}
+
+var _ Process = (*Rotor)(nil)
+
+// NewRotor returns a rotor-router walk starting at start. If r is
+// non-nil the initial rotor positions are randomised; with r == nil all
+// rotors start at adjacency position 0.
+func NewRotor(g *graph.Graph, r *rand.Rand, start int) *Rotor {
+	ro := &Rotor{g: g, r: r}
+	ro.Reset(start)
+	return ro
+}
+
+// Graph implements Process.
+func (ro *Rotor) Graph() *graph.Graph { return ro.g }
+
+// Current implements Process.
+func (ro *Rotor) Current() int { return ro.cur }
+
+// Step implements Process.
+func (ro *Rotor) Step() (int, int) {
+	adj := ro.g.Adj(ro.cur)
+	h := adj[ro.rotor[ro.cur]]
+	ro.rotor[ro.cur] = (ro.rotor[ro.cur] + 1) % len(adj)
+	ro.cur = h.To
+	return h.ID, ro.cur
+}
+
+// Reset implements Process.
+func (ro *Rotor) Reset(start int) {
+	ro.cur = start
+	ro.rotor = make([]int, ro.g.N())
+	if ro.r != nil {
+		for v := range ro.rotor {
+			if d := ro.g.Degree(v); d > 0 {
+				ro.rotor[v] = ro.r.Intn(d)
+			}
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package walk
+
+import "repro/internal/graph"
+
+// Rule is the paper's "rule A": given the unvisited half-edges at the
+// current vertex, choose which to cross. Implementations may be
+// randomised (via p.Rand()), deterministic, stateful, or adversarial —
+// Theorem 1 holds for all of them.
+type Rule interface {
+	// Name identifies the rule in experiment output.
+	Name() string
+	// Choose returns the index into unvisited of the half-edge to
+	// cross. unvisited is non-empty and contains exactly the unvisited
+	// half-edges at v.
+	Choose(p *EProcess, v int, unvisited []graph.Half) int
+	// Reset clears any per-run state; called whenever the process is
+	// (re)initialised on graph g.
+	Reset(g *graph.Graph)
+}
+
+// Uniform chooses uniformly at random among unvisited edges — the
+// simplest rule, and the one that makes the E-process coincide with the
+// Greedy Random Walk of Orenshtein and Shinkar. The paper's Figure 1
+// experiments use this rule.
+type Uniform struct{}
+
+// Name implements Rule.
+func (Uniform) Name() string { return "uniform" }
+
+// Choose implements Rule.
+func (Uniform) Choose(p *EProcess, _ int, unvisited []graph.Half) int {
+	return p.Rand().Intn(len(unvisited))
+}
+
+// Reset implements Rule.
+func (Uniform) Reset(*graph.Graph) {}
+
+// LowestEdgeFirst deterministically crosses the unvisited edge with the
+// smallest edge ID. A stand-in for "the rule could be deterministic"
+// (Section 1); cover-time bounds must be insensitive to it.
+type LowestEdgeFirst struct{}
+
+// Name implements Rule.
+func (LowestEdgeFirst) Name() string { return "lowest-edge-first" }
+
+// Choose implements Rule.
+func (LowestEdgeFirst) Choose(_ *EProcess, _ int, unvisited []graph.Half) int {
+	best := 0
+	for i := 1; i < len(unvisited); i++ {
+		if unvisited[i].ID < unvisited[best].ID {
+			best = i
+		}
+	}
+	return best
+}
+
+// Reset implements Rule.
+func (LowestEdgeFirst) Reset(*graph.Graph) {}
+
+// HighestEdgeFirst deterministically crosses the unvisited edge with
+// the largest edge ID.
+type HighestEdgeFirst struct{}
+
+// Name implements Rule.
+func (HighestEdgeFirst) Name() string { return "highest-edge-first" }
+
+// Choose implements Rule.
+func (HighestEdgeFirst) Choose(_ *EProcess, _ int, unvisited []graph.Half) int {
+	best := 0
+	for i := 1; i < len(unvisited); i++ {
+		if unvisited[i].ID > unvisited[best].ID {
+			best = i
+		}
+	}
+	return best
+}
+
+// Reset implements Rule.
+func (HighestEdgeFirst) Reset(*graph.Graph) {}
+
+// RoundRobin cycles deterministically through each vertex's incident
+// edges in adjacency order, crossing the first unvisited edge at or
+// after a per-vertex rotor position — an unvisited-edge analogue of the
+// rotor-router, realising "could vary from vertex to vertex".
+type RoundRobin struct {
+	next []int // per-vertex rotor position into the adjacency order
+}
+
+// Name implements Rule.
+func (rr *RoundRobin) Name() string { return "round-robin" }
+
+// Reset implements Rule.
+func (rr *RoundRobin) Reset(g *graph.Graph) {
+	rr.next = make([]int, g.N())
+}
+
+// Choose implements Rule.
+func (rr *RoundRobin) Choose(p *EProcess, v int, unvisited []graph.Half) int {
+	adj := p.Graph().Adj(v)
+	for probe := 0; probe < len(adj); probe++ {
+		want := adj[(rr.next[v]+probe)%len(adj)].ID
+		for i, h := range unvisited {
+			if h.ID == want {
+				rr.next[v] = (rr.next[v] + probe + 1) % len(adj)
+				return i
+			}
+		}
+	}
+	// Unreachable: every unvisited half appears in adj. Return 0 to be
+	// safe rather than panic inside a long experiment.
+	return 0
+}
+
+// TowardVisited is an adversarial on-line rule: it prefers the
+// unvisited edge whose far endpoint has the fewest remaining unvisited
+// edges, trying to close off blue territory early and strand unvisited
+// components far from the walk. This is the "decided on-line by an
+// adversary" case the paper explicitly allows.
+type TowardVisited struct{}
+
+// Name implements Rule.
+func (TowardVisited) Name() string { return "adversary-toward-visited" }
+
+// Choose implements Rule.
+func (TowardVisited) Choose(p *EProcess, v int, unvisited []graph.Half) int {
+	best, bestBlue := 0, -1
+	for i, h := range unvisited {
+		blue := p.BlueDegree(h.To)
+		if bestBlue == -1 || blue < bestBlue {
+			best, bestBlue = i, blue
+		}
+	}
+	return best
+}
+
+// Reset implements Rule.
+func (TowardVisited) Reset(*graph.Graph) {}
+
+// PerVertex realises the paper's "could vary from vertex to vertex":
+// each vertex is permanently assigned one of the given sub-rules (by
+// vertex index modulo the list length), and the walk consults the
+// current vertex's rule at each blue step.
+type PerVertex struct {
+	// Rules are the sub-rules to distribute over vertices; must be
+	// non-empty before the first Choose call.
+	Rules []Rule
+}
+
+// Name implements Rule.
+func (pv *PerVertex) Name() string { return "per-vertex-mixed" }
+
+// Reset implements Rule.
+func (pv *PerVertex) Reset(g *graph.Graph) {
+	for _, r := range pv.Rules {
+		r.Reset(g)
+	}
+}
+
+// Choose implements Rule.
+func (pv *PerVertex) Choose(p *EProcess, v int, unvisited []graph.Half) int {
+	rule := pv.Rules[v%len(pv.Rules)]
+	return rule.Choose(p, v, unvisited)
+}
+
+// TowardUnvisited is the benevolent mirror of TowardVisited: it prefers
+// the unvisited edge whose far endpoint has the most unvisited edges,
+// chasing fresh territory greedily.
+type TowardUnvisited struct{}
+
+// Name implements Rule.
+func (TowardUnvisited) Name() string { return "toward-unvisited" }
+
+// Choose implements Rule.
+func (TowardUnvisited) Choose(p *EProcess, v int, unvisited []graph.Half) int {
+	best, bestBlue := 0, -1
+	for i, h := range unvisited {
+		blue := p.BlueDegree(h.To)
+		if blue > bestBlue {
+			best, bestBlue = i, blue
+		}
+	}
+	return best
+}
+
+// Reset implements Rule.
+func (TowardUnvisited) Reset(*graph.Graph) {}

@@ -1,0 +1,76 @@
+package walk
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// VProcess is the unvisited-vertex-preferring walk the paper's
+// introduction motivates ("the idea that the vertex cover time of a
+// random walk could be reduced by choosing unvisited neighbour vertices
+// whenever possible seems attractive and often arises in discussion",
+// studied experimentally in Berenbrink–Cooper–Friedetzky [4]): at each
+// step, if any neighbours are unvisited, move to one of them uniformly
+// at random; otherwise take a simple-random-walk step.
+//
+// Unlike the E-process, the VProcess has no parity structure —
+// Observation 10 does not apply to it on any graph — so it serves as
+// the natural ablation: preferring unvisited *edges* on even-degree
+// graphs buys the O(n) guarantee that preferring unvisited *vertices*
+// does not.
+type VProcess struct {
+	g       *graph.Graph
+	r       *rand.Rand
+	visited []bool // per-vertex
+	cur     int
+	// scratch buffer for the unvisited-neighbour sample, reused across
+	// steps to avoid per-step allocation.
+	buf []graph.Half
+}
+
+var _ Process = (*VProcess)(nil)
+
+// NewVProcess returns an unvisited-vertex-preferring walk starting at
+// start.
+func NewVProcess(g *graph.Graph, r *rand.Rand, start int) *VProcess {
+	v := &VProcess{g: g, r: r, buf: make([]graph.Half, 0, g.MaxDegree())}
+	v.Reset(start)
+	return v
+}
+
+// Graph implements Process.
+func (v *VProcess) Graph() *graph.Graph { return v.g }
+
+// Current implements Process.
+func (v *VProcess) Current() int { return v.cur }
+
+// VertexVisited reports whether u has been occupied.
+func (v *VProcess) VertexVisited(u int) bool { return v.visited[u] }
+
+// Step implements Process.
+func (v *VProcess) Step() (int, int) {
+	adj := v.g.Adj(v.cur)
+	v.buf = v.buf[:0]
+	for _, h := range adj {
+		if !v.visited[h.To] {
+			v.buf = append(v.buf, h)
+		}
+	}
+	var chosen graph.Half
+	if len(v.buf) > 0 {
+		chosen = v.buf[v.r.Intn(len(v.buf))]
+	} else {
+		chosen = adj[v.r.Intn(len(adj))]
+	}
+	v.cur = chosen.To
+	v.visited[v.cur] = true
+	return chosen.ID, v.cur
+}
+
+// Reset implements Process.
+func (v *VProcess) Reset(start int) {
+	v.cur = start
+	v.visited = make([]bool, v.g.N())
+	v.visited[start] = true
+}
