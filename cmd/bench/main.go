@@ -1,0 +1,185 @@
+// Command bench runs the repository's hot-path benchmarks in-process
+// (via testing.Benchmark, no `go test` invocation needed) and writes a
+// machine-readable JSON report, so the perf trajectory of the walk
+// engine is tracked as an artifact (BENCH_1.json, BENCH_2.json, ...)
+// rather than scattered across PR descriptions.
+//
+// Usage:
+//
+//	go run ./cmd/bench -o BENCH_1.json [-n 10000] [-d 4] [-trials 5]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/walk"
+)
+
+// BenchResult is one benchmark's outcome in the JSON report.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// CoverResult reports mean cover times from a sim trial batch — the
+// end-to-end metric every step-level optimisation exists to improve.
+type CoverResult struct {
+	N                int     `json:"n"`
+	Degree           int     `json:"degree"`
+	Trials           int     `json:"trials"`
+	MeanVertexSteps  float64 `json:"mean_vertex_steps"`
+	MeanEdgeSteps    float64 `json:"mean_edge_steps"`
+	VertexStepsPerN  float64 `json:"vertex_steps_per_n"`
+	WallSecondsTotal float64 `json:"wall_seconds_total"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	GoVersion  string        `json:"go_version"`
+	GOARCH     string        `json:"goarch"`
+	GOOS       string        `json:"goos"`
+	NumCPU     int           `json:"num_cpu"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+	Cover      CoverResult   `json:"cover"`
+}
+
+func run(name string, f func(b *testing.B)) BenchResult {
+	r := testing.Benchmark(f)
+	return BenchResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+func mustRegular(n, d int, seed int64) *graph.Graph {
+	g, err := gen.RandomRegularSW(rand.New(rand.NewSource(seed)), n, d)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func main() {
+	out := flag.String("o", "BENCH_1.json", "output JSON path")
+	n := flag.Int("n", 10000, "vertices for step benchmarks")
+	d := flag.Int("d", 4, "degree for benchmark graphs")
+	coverN := flag.Int("cover-n", 5000, "vertices for the cover benchmark")
+	trials := flag.Int("trials", 5, "trials for the cover metric")
+	flag.Parse()
+
+	stepGraph := mustRegular(*n, *d, 1)
+	coverGraph := mustRegular(*coverN, *d, 9)
+
+	report := Report{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		GOOS:      runtime.GOOS,
+		NumCPU:    runtime.NumCPU(),
+	}
+
+	report.Benchmarks = append(report.Benchmarks,
+		run("EProcessStep", func(b *testing.B) {
+			e := walk.NewEProcess(stepGraph, rng.NewXoshiro256(2), nil, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Step()
+			}
+		}),
+		run("EProcessStepMathRand", func(b *testing.B) {
+			e := walk.NewEProcess(stepGraph, rand.New(rand.NewSource(2)), nil, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Step()
+			}
+		}),
+		run("SimpleStep", func(b *testing.B) {
+			w := walk.NewSimple(stepGraph, rng.NewXoshiro256(4), 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Step()
+			}
+		}),
+		run("EProcessFullVertexCover", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e := walk.NewEProcess(coverGraph, rng.NewXoshiro256(uint64(i)), nil, 0)
+				if _, err := walk.VertexCoverSteps(e, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		run("EProcessFullVertexCoverReuse", func(b *testing.B) {
+			e := walk.NewEProcess(coverGraph, rng.NewXoshiro256(11), nil, 0)
+			var sc walk.CoverScratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Reset(0)
+				if _, err := sc.VertexCoverSteps(e, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+	)
+
+	coverBench := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := sim.Run(
+				sim.Config{Seed: 1, Trials: *trials},
+				func(r *rand.Rand) (*graph.Graph, error) { return gen.RandomRegularSW(r, *coverN, *d) },
+				func(g *graph.Graph, r *rng.Rand, start int) walk.Process {
+					return walk.NewEProcess(g, r, nil, start)
+				},
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			report.Cover = CoverResult{
+				N:               *coverN,
+				Degree:          *d,
+				Trials:          *trials,
+				MeanVertexSteps: res.VertexStats.Mean,
+				MeanEdgeSteps:   res.EdgeStats.Mean,
+				VertexStepsPerN: res.VertexStats.Mean / float64(*coverN),
+			}
+		}
+	})
+	report.Cover.WallSecondsTotal = coverBench.T.Seconds() / float64(coverBench.N)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+	for _, b := range report.Benchmarks {
+		fmt.Printf("  %-32s %12.2f ns/op %8d B/op %6d allocs/op\n", b.Name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
+	}
+	fmt.Printf("  cover n=%d d=%d: %.0f vertex steps (%.2f·n), %.0f edge steps\n",
+		report.Cover.N, report.Cover.Degree, report.Cover.MeanVertexSteps,
+		report.Cover.VertexStepsPerN, report.Cover.MeanEdgeSteps)
+}

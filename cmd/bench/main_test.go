@@ -1,0 +1,76 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/walk"
+)
+
+// The report runner must measure real work and produce well-formed
+// entries without the overhead of a full-size run.
+func TestRunProducesSaneResult(t *testing.T) {
+	g := mustRegular(200, 4, 1)
+	res := run("step", func(b *testing.B) {
+		e := walk.NewEProcess(g, rng.NewXoshiro256(2), nil, 0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Step()
+		}
+	})
+	if res.Name != "step" || res.Iterations <= 0 || res.NsPerOp <= 0 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+}
+
+// A Report must round-trip through JSON with the field names the perf
+// trajectory tooling greps for.
+func TestReportJSONShape(t *testing.T) {
+	rep := Report{
+		GoVersion:  "go1.24",
+		Benchmarks: []BenchResult{{Name: "EProcessStep", Iterations: 1, NsPerOp: 12.5}},
+		Cover:      CoverResult{N: 100, Degree: 4, Trials: 2, MeanVertexSteps: 250},
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Benchmarks[0].Name != "EProcessStep" || back.Cover.MeanVertexSteps != 250 {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+	for _, key := range []string{"ns_per_op", "allocs_per_op", "mean_vertex_steps"} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("serialized report missing %q", key)
+		}
+	}
+}
+
+// mustRegular must stay deterministic: the benchmarks compare runs.
+func TestMustRegularDeterministic(t *testing.T) {
+	a, b := mustRegular(60, 4, 7), mustRegular(60, 4, 7)
+	ae, be := a.Edges(), b.Edges()
+	if len(ae) != len(be) {
+		t.Fatal("edge counts differ for equal seeds")
+	}
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}

@@ -35,7 +35,7 @@ func (g *Graph) Bridges() []int {
 		timer++
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
-			adj := g.adj[f.v]
+			adj := g.Adj(f.v)
 			if f.adjIndex < len(adj) {
 				h := adj[f.adjIndex]
 				f.adjIndex++

@@ -1,18 +1,33 @@
 // Package graph provides the graph substrate used by every walk process
 // and experiment in the repository.
 //
-// The central type is Graph, an undirected multigraph with loops, stored
-// as an edge array plus per-vertex half-edge adjacency lists. Multigraph
-// support is not optional for this paper: the proofs of Lemma 13 and
-// Lemma 16 contract vertex sets to a single vertex "retaining multiple
-// edges and loops", and the analysis machinery here mirrors those
-// constructions exactly (see Contract and SubdivideEdges).
+// The central type is Graph, an undirected multigraph with loops.
+// Multigraph support is not optional for this paper: the proofs of
+// Lemma 13 and Lemma 16 contract vertex sets to a single vertex
+// "retaining multiple edges and loops", and the analysis machinery here
+// mirrors those constructions exactly (see Contract and SubdivideEdges).
 //
 // Vertices are dense integers 0..N()-1. Edges are dense integers
 // 0..M()-1; each edge knows its two endpoints, and a loop is an edge
 // whose endpoints coincide (contributing 2 to the degree of its vertex,
 // as in standard multigraph degree counting, so that the handshake
 // identity sum(deg) = 2m always holds).
+//
+// # Storage: builder vs CSR
+//
+// A Graph has two storage states. While it is being built, adjacency
+// lives in per-vertex slices so AddEdge is O(1) amortised. Freeze
+// finalises it into a compressed-sparse-row (CSR) layout: one flat
+// []Half array holding every adjacency list back-to-back, delimited by
+// an Offsets table of int32 (vertex v's halves are
+// Halves()[Offsets()[v]:Offsets()[v+1]], in edge-insertion order —
+// identical to the order the builder held them, so trajectories of
+// seeded walks are unchanged by freezing). The flat layout removes one
+// pointer dereference per adjacency access and keeps neighbour blocks
+// contiguous in cache, which is where simulation hot loops spend their
+// time; walk constructors Freeze their graph so every Step runs on CSR.
+// Freezing is idempotent, and a frozen graph thaws transparently when
+// mutated again (AddEdge), at O(n+m) for the first mutation.
 //
 // The package also provides the structural queries the paper's analysis
 // needs: connectivity, bipartiteness (which decides whether the walk

@@ -52,7 +52,7 @@ func (g *Graph) EulerCircuit(start int) ([]int, error) {
 	trail := make([]int, 0, g.M())
 	for len(stack) > 0 {
 		f := &stack[len(stack)-1]
-		adj := g.adj[f.v]
+		adj := g.Adj(f.v)
 		advanced := false
 		for next[f.v] < len(adj) {
 			h := adj[next[f.v]]

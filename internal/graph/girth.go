@@ -48,7 +48,7 @@ func (g *Graph) Girth() int {
 				// No shorter cycle through root can still be found.
 				break
 			}
-			for _, h := range g.adj[v] {
+			for _, h := range g.Adj(v) {
 				if h.ID == parentEdge[v] {
 					continue
 				}

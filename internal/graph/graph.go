@@ -3,6 +3,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // Errors returned by graph constructors and mutators.
@@ -43,9 +44,36 @@ type Half struct {
 // Graph is an undirected multigraph with loops. The zero value is an
 // empty graph with no vertices; use New or NewFromEdges to construct a
 // usable instance.
+//
+// A Graph has two storage states. While mutable, adjacency lives in a
+// per-vertex builder ([][]Half) so AddEdge is O(1) amortised. Freeze
+// converts it to a compressed-sparse-row (CSR) layout — one flat
+// []Half array plus a []int32 offset table — which packs every
+// adjacency list contiguously for cache locality and lets hot loops
+// index neighbourhoods without pointer chasing. Adj works identically
+// in both states (on a frozen graph it returns a view into the flat
+// array); mutating a frozen graph transparently thaws it back to the
+// builder representation.
+//
+// Concurrency: a frozen Graph is safe for concurrent reads, but the
+// freeze/thaw transitions are unsynchronized writes — and note that
+// walk constructors and the Halves/Offsets accessors freeze lazily.
+// Call Freeze once before sharing a graph across goroutines (the sim
+// harness builds one graph per trial, so it never shares).
 type Graph struct {
 	edges []Edge
-	adj   [][]Half
+	n     int
+
+	// Builder adjacency; valid while !frozen, nil once frozen.
+	adj [][]Half
+
+	// CSR adjacency; valid while frozen. The halves of vertex v occupy
+	// halves[off[v]:off[v+1]], in the same order the builder held them
+	// (edge-insertion order per vertex).
+	halves []Half
+	off    []int32
+
+	frozen bool
 }
 
 // New returns a graph with n isolated vertices and no edges.
@@ -53,7 +81,7 @@ func New(n int) *Graph {
 	if n <= 0 {
 		panic(ErrNoVertices)
 	}
-	return &Graph{adj: make([][]Half, n)}
+	return &Graph{n: n, adj: make([][]Half, n)}
 }
 
 // NewFromEdges builds a graph with n vertices and the given edges.
@@ -82,16 +110,87 @@ func MustFromEdges(n int, edges []Edge) *Graph {
 }
 
 // N returns the number of vertices.
-func (g *Graph) N() int { return len(g.adj) }
+func (g *Graph) N() int { return g.n }
 
 // M returns the number of edges (loops count once).
 func (g *Graph) M() int { return len(g.edges) }
 
-// AddEdge appends an undirected edge {u, v} and returns its edge ID.
-func (g *Graph) AddEdge(u, v int) error {
-	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
-		return fmt.Errorf("%w: edge {%d,%d} in graph of %d vertices", ErrVertexRange, u, v, len(g.adj))
+// Freeze finalises the graph into its flat CSR layout. It is idempotent
+// and cheap to call on an already-frozen graph; walk constructors call
+// it so that every simulation hot path runs on the flat layout. A
+// frozen graph remains fully usable — AddEdge thaws it automatically.
+// Freeze itself is not synchronized: freeze before sharing the graph
+// across goroutines, not concurrently with other access.
+func (g *Graph) Freeze() {
+	if g.frozen {
+		return
 	}
+	total := 0
+	for _, hs := range g.adj {
+		total += len(hs)
+	}
+	if total > math.MaxInt32 {
+		panic(fmt.Sprintf("graph: %d half-edges exceed the int32 CSR offset range", total))
+	}
+	g.halves = make([]Half, 0, total)
+	g.off = make([]int32, g.n+1)
+	for v, hs := range g.adj {
+		g.off[v] = int32(len(g.halves))
+		g.halves = append(g.halves, hs...)
+		g.adj[v] = nil
+	}
+	g.off[g.n] = int32(len(g.halves))
+	g.adj = nil
+	g.frozen = true
+}
+
+// Frozen reports whether the graph is in its flat CSR state.
+func (g *Graph) Frozen() bool { return g.frozen }
+
+// thaw reconstitutes the builder adjacency from the CSR arrays so the
+// graph can be mutated again.
+func (g *Graph) thaw() {
+	if !g.frozen {
+		return
+	}
+	g.adj = make([][]Half, g.n)
+	for v := 0; v < g.n; v++ {
+		lo, hi := g.off[v], g.off[v+1]
+		if lo == hi {
+			continue
+		}
+		g.adj[v] = append([]Half(nil), g.halves[lo:hi]...)
+	}
+	g.halves, g.off = nil, nil
+	g.frozen = false
+}
+
+// Halves returns the flat CSR half-edge array, freezing the graph if
+// needed. The halves of vertex v occupy Halves()[Offsets()[v]:Offsets()[v+1]].
+// The returned slice is owned by the graph and must not be modified;
+// it is invalidated by the next AddEdge.
+func (g *Graph) Halves() []Half {
+	g.Freeze()
+	return g.halves
+}
+
+// Offsets returns the CSR offset table (length N()+1), freezing the
+// graph if needed. The returned slice is owned by the graph and must
+// not be modified; it is invalidated by the next AddEdge.
+func (g *Graph) Offsets() []int32 {
+	g.Freeze()
+	return g.off
+}
+
+// AddEdge appends an undirected edge {u, v} and returns its edge ID.
+// Adding an edge to a frozen graph thaws it back to the builder layout
+// (O(n+m) once); interleaved mutation should therefore happen before
+// the first Freeze.
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("%w: edge {%d,%d} in graph of %d vertices", ErrVertexRange, u, v, g.n)
+	}
+	g.thaw()
 	id := len(g.edges)
 	g.edges = append(g.edges, Edge{U: u, V: v})
 	g.adj[u] = append(g.adj[u], Half{ID: id, To: v})
@@ -110,18 +209,31 @@ func (g *Graph) Edges() []Edge {
 }
 
 // Degree returns the degree of v, with each loop counting 2.
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int {
+	if g.frozen {
+		return int(g.off[v+1] - g.off[v])
+	}
+	return len(g.adj[v])
+}
 
 // Adj returns the half-edge adjacency list of v. The returned slice is
-// owned by the graph and must not be modified.
-func (g *Graph) Adj(v int) []Half { return g.adj[v] }
+// owned by the graph and must not be modified. On a frozen graph it is
+// a view into the flat CSR array and is invalidated by the next
+// AddEdge.
+func (g *Graph) Adj(v int) []Half {
+	if g.frozen {
+		return g.halves[g.off[v]:g.off[v+1]]
+	}
+	return g.adj[v]
+}
 
 // Neighbors returns the multiset of neighbours of v in a fresh slice
 // (a vertex adjacent through k parallel edges appears k times; a loop
 // contributes v twice).
 func (g *Graph) Neighbors(v int) []int {
-	out := make([]int, len(g.adj[v]))
-	for i, h := range g.adj[v] {
+	adj := g.Adj(v)
+	out := make([]int, len(adj))
+	for i, h := range adj {
 		out[i] = h.To
 	}
 	return out
@@ -130,10 +242,10 @@ func (g *Graph) Neighbors(v int) []int {
 // HasEdge reports whether at least one edge joins u and v.
 func (g *Graph) HasEdge(u, v int) bool {
 	// Scan the shorter list.
-	if len(g.adj[u]) > len(g.adj[v]) {
+	if g.Degree(u) > g.Degree(v) {
 		u, v = v, u
 	}
-	for _, h := range g.adj[u] {
+	for _, h := range g.Adj(u) {
 		if h.To == v {
 			return true
 		}
@@ -145,7 +257,7 @@ func (g *Graph) HasEdge(u, v int) bool {
 // For u == v it returns the number of loops at u.
 func (g *Graph) EdgeMultiplicity(u, v int) int {
 	count := 0
-	for _, h := range g.adj[u] {
+	for _, h := range g.Adj(u) {
 		if h.To == v {
 			count++
 		}
@@ -178,7 +290,7 @@ func (g *Graph) IsSimple() bool {
 // MinDegree returns the minimum vertex degree.
 func (g *Graph) MinDegree() int {
 	min := g.Degree(0)
-	for v := 1; v < g.N(); v++ {
+	for v := 1; v < g.n; v++ {
 		if d := g.Degree(v); d < min {
 			min = d
 		}
@@ -189,7 +301,7 @@ func (g *Graph) MinDegree() int {
 // MaxDegree returns the maximum vertex degree.
 func (g *Graph) MaxDegree() int {
 	max := 0
-	for v := 0; v < g.N(); v++ {
+	for v := 0; v < g.n; v++ {
 		if d := g.Degree(v); d > max {
 			max = d
 		}
@@ -201,7 +313,7 @@ func (g *Graph) MaxDegree() int {
 // that degree when true.
 func (g *Graph) IsRegular() (int, bool) {
 	d := g.Degree(0)
-	for v := 1; v < g.N(); v++ {
+	for v := 1; v < g.n; v++ {
 		if g.Degree(v) != d {
 			return 0, false
 		}
@@ -212,7 +324,7 @@ func (g *Graph) IsRegular() (int, bool) {
 // IsEvenDegree reports whether every vertex has even degree — the
 // structural hypothesis of the paper's Theorem 1 and Observation 10.
 func (g *Graph) IsEvenDegree() bool {
-	for v := 0; v < g.N(); v++ {
+	for v := 0; v < g.n; v++ {
 		if g.Degree(v)%2 != 0 {
 			return false
 		}
@@ -223,22 +335,32 @@ func (g *Graph) IsEvenDegree() bool {
 // DegreeSum returns the sum of all vertex degrees (= 2*M()).
 func (g *Graph) DegreeSum() int {
 	total := 0
-	for v := 0; v < g.N(); v++ {
+	for v := 0; v < g.n; v++ {
 		total += g.Degree(v)
 	}
 	return total
 }
 
-// Clone returns a deep copy of g.
+// Clone returns a deep copy of g, in the same (frozen or builder)
+// storage state.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
-		edges: make([]Edge, len(g.edges)),
-		adj:   make([][]Half, len(g.adj)),
+		edges:  make([]Edge, len(g.edges)),
+		n:      g.n,
+		frozen: g.frozen,
 	}
 	copy(c.edges, g.edges)
+	if g.frozen {
+		c.halves = append([]Half(nil), g.halves...)
+		c.off = append([]int32(nil), g.off...)
+		return c
+	}
+	c.adj = make([][]Half, g.n)
 	for v, hs := range g.adj {
-		c.adj[v] = make([]Half, len(hs))
-		copy(c.adj[v], hs)
+		if len(hs) == 0 {
+			continue
+		}
+		c.adj[v] = append([]Half(nil), hs...)
 	}
 	return c
 }
@@ -246,15 +368,25 @@ func (g *Graph) Clone() *Graph {
 // Validate checks internal consistency: adjacency matches the edge
 // array, and the handshake identity sum(deg) = 2m holds.
 func (g *Graph) Validate() error {
-	if len(g.adj) == 0 {
+	if g.n == 0 {
 		return ErrNoVertices
 	}
 	if got, want := g.DegreeSum(), 2*g.M(); got != want {
 		return fmt.Errorf("graph: handshake violated: degree sum %d != 2m = %d", got, want)
 	}
+	if g.frozen {
+		if len(g.off) != g.n+1 || g.off[0] != 0 || int(g.off[g.n]) != len(g.halves) {
+			return fmt.Errorf("graph: CSR offsets malformed: %d entries for %d vertices, %d halves", len(g.off), g.n, len(g.halves))
+		}
+		for v := 0; v < g.n; v++ {
+			if g.off[v] > g.off[v+1] {
+				return fmt.Errorf("graph: CSR offsets not monotone at vertex %d", v)
+			}
+		}
+	}
 	halves := 0
-	for v, hs := range g.adj {
-		for _, h := range hs {
+	for v := 0; v < g.n; v++ {
+		for _, h := range g.Adj(v) {
 			if h.ID < 0 || h.ID >= len(g.edges) {
 				return fmt.Errorf("graph: vertex %d references edge %d out of range", v, h.ID)
 			}

@@ -121,7 +121,7 @@ func (g *Graph) BallAround(v, radius int) (ball, leaves []int) {
 			leaves = append(leaves, x)
 			continue
 		}
-		for _, h := range g.adj[x] {
+		for _, h := range g.Adj(x) {
 			if _, ok := dist[h.To]; !ok {
 				dist[h.To] = dist[x] + 1
 				ball = append(ball, h.To)

@@ -13,7 +13,7 @@ func (g *Graph) BFSFrom(root int) []int {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, h := range g.adj[v] {
+		for _, h := range g.Adj(v) {
 			if dist[h.To] == -1 {
 				dist[h.To] = dist[v] + 1
 				queue = append(queue, h.To)
@@ -52,7 +52,7 @@ func (g *Graph) Components() (label []int, count int) {
 		for len(queue) > 0 {
 			x := queue[0]
 			queue = queue[1:]
-			for _, h := range g.adj[x] {
+			for _, h := range g.Adj(x) {
 				if label[h.To] == -1 {
 					label[h.To] = count
 					queue = append(queue, h.To)
@@ -78,7 +78,7 @@ func (g *Graph) IsBipartite() bool {
 		for len(queue) > 0 {
 			v := queue[0]
 			queue = queue[1:]
-			for _, h := range g.adj[v] {
+			for _, h := range g.Adj(v) {
 				if h.To == v {
 					return false // loop: odd closed walk of length 1
 				}

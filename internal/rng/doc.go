@@ -9,9 +9,13 @@
 // better statistical behaviour for large sweeps.
 //
 // All generators satisfy math/rand.Source64, so they can be wrapped in a
-// *rand.Rand. Every experiment in the repository receives its randomness
-// through an injected Source64 so that runs are reproducible from a seed.
-// NewStream derives independent child generators from a master seed,
-// which is how the simulation harness gives each parallel trial its own
-// generator without correlation between trials.
+// *rand.Rand; they also satisfy Source, which adds a fast bounded-int
+// path (Lemire's nearly-divisionless method, see lemire.go) that the
+// walk hot loops consume directly, skipping math/rand's interface
+// dispatch and modulo-rejection divisions. Rand couples both views over
+// one shared state. Every experiment in the repository receives its
+// randomness through injection so that runs are reproducible from a
+// seed. NewStream derives independent child generators from a master
+// seed, which is how the simulation harness gives each parallel trial
+// its own generator without correlation between trials.
 package rng

@@ -1,0 +1,108 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// The Lemire bounded draw must stay in range and be close to uniform.
+func TestUint64nRangeAndUniformity(t *testing.T) {
+	for _, src := range []Source{NewXoshiro256(11), NewSplitMix64(12), NewMT19937(13)} {
+		const n = 7
+		const draws = 70000
+		var counts [n]int
+		for i := 0; i < draws; i++ {
+			v := src.Uint64n(n)
+			if v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+			counts[v]++
+		}
+		// Chi-square with 6 dof; 22.46 is the 0.1% critical value.
+		expected := float64(draws) / n
+		chi2 := 0.0
+		for _, c := range counts {
+			d := float64(c) - expected
+			chi2 += d * d / expected
+		}
+		if chi2 > 22.46 {
+			t.Errorf("%T: chi-square %.2f exceeds 0.1%% critical value", src, chi2)
+		}
+	}
+}
+
+// Intn must agree with Uint64n and reject non-positive bounds.
+func TestIntnMatchesUint64n(t *testing.T) {
+	a, b := NewXoshiro256(5), NewXoshiro256(5)
+	for i := 0; i < 1000; i++ {
+		n := 1 + i%97
+		if got, want := a.Intn(n), int(b.Uint64n(uint64(n))); got != want {
+			t.Fatalf("draw %d: Intn(%d) = %d, Uint64n = %d", i, n, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	a.Intn(0)
+}
+
+// Power-of-two and near-max bounds exercise the threshold fallback.
+func TestUint64nEdgeBounds(t *testing.T) {
+	src := NewSplitMix64(99)
+	for _, n := range []uint64{1, 2, 1 << 32, math.MaxUint64/2 + 3, math.MaxUint64} {
+		for i := 0; i < 100; i++ {
+			if v := src.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if v := src.Uint64n(1); v != 0 {
+			t.Fatalf("Uint64n(1) = %d, want 0", v)
+		}
+	}
+}
+
+// Rand must be one deterministic stream across both views.
+func TestRandDeterministicAcrossViews(t *testing.T) {
+	a := NewRand(NewXoshiro256(21))
+	b := NewRand(NewXoshiro256(21))
+	for i := 0; i < 200; i++ {
+		switch i % 3 {
+		case 0:
+			if x, y := a.Intn(50), b.Intn(50); x != y {
+				t.Fatalf("draw %d: fast Intn diverged: %d vs %d", i, x, y)
+			}
+		case 1:
+			if x, y := a.Float64(), b.Float64(); x != y {
+				t.Fatalf("draw %d: Float64 diverged", i)
+			}
+		case 2:
+			if x, y := a.Uint64n(1000), b.Uint64n(1000); x != y {
+				t.Fatalf("draw %d: Uint64n diverged: %d vs %d", i, x, y)
+			}
+		}
+	}
+}
+
+func BenchmarkRandRandIntn(b *testing.B) {
+	r := NewRand(NewXoshiro256(1)).Rand // plain math/rand path
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += r.Intn(1000)
+	}
+	_ = sink
+}
+
+func BenchmarkLemireIntn(b *testing.B) {
+	x := NewXoshiro256(1)
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += x.Intn(1000)
+	}
+	_ = sink
+}

@@ -32,6 +32,13 @@ func NewStream(kind Kind, seed uint64) *Stream {
 
 // Next returns the next independent child generator.
 func (st *Stream) Next() rand.Source64 {
+	return st.NextSource()
+}
+
+// NextSource returns the next independent child generator as a concrete
+// Source, exposing the fast bounded-int path alongside math/rand
+// interop.
+func (st *Stream) NextSource() Source {
 	s := st.seq.Uint64()
 	switch st.kind {
 	case KindMT19937:
@@ -46,6 +53,12 @@ func (st *Stream) Next() rand.Source64 {
 // NextRand returns the next child generator wrapped in a *rand.Rand.
 func (st *Stream) NextRand() *rand.Rand {
 	return rand.New(st.Next())
+}
+
+// NextFastRand returns the next child generator wrapped in a *Rand,
+// whose Intn takes the generator's fast bounded path.
+func (st *Stream) NextFastRand() *Rand {
+	return NewRand(st.NextSource())
 }
 
 // New returns a single generator of the given kind for callers that do

@@ -64,7 +64,7 @@ func ExpTheorem1(cfg ExpConfig) ([]Theorem1Row, *Table, error) {
 		n := b * cfg.Scale
 		res, err := RunVertexOnly(cfg.runCfg(uint64(n)),
 			func(r *rand.Rand) (*graph.Graph, error) { return gen.RandomRegularSW(r, n, deg) },
-			func(g *graph.Graph, r *rand.Rand, start int) walk.Process {
+			func(g *graph.Graph, r *rng.Rand, start int) walk.Process {
 				return walk.NewEProcess(g, r, walk.Uniform{}, start)
 			})
 		if err != nil {
@@ -130,12 +130,12 @@ func ExpRadzikSpeedup(cfg ExpConfig) ([]SpeedupRow, *Table, error) {
 		n := b * cfg.Scale
 		gf := func(r *rand.Rand) (*graph.Graph, error) { return gen.RandomRegularSW(r, n, deg) }
 		srw, err := RunVertexOnly(cfg.runCfg(uint64(n)), gf,
-			func(g *graph.Graph, r *rand.Rand, start int) walk.Process { return walk.NewSimple(g, r, start) })
+			func(g *graph.Graph, r *rng.Rand, start int) walk.Process { return walk.NewSimple(g, r, start) })
 		if err != nil {
 			return nil, nil, err
 		}
 		ep, err := RunVertexOnly(cfg.runCfg(uint64(n)), gf,
-			func(g *graph.Graph, r *rand.Rand, start int) walk.Process { return walk.NewEProcess(g, r, nil, start) })
+			func(g *graph.Graph, r *rng.Rand, start int) walk.Process { return walk.NewEProcess(g, r, nil, start) })
 		if err != nil {
 			return nil, nil, err
 		}
@@ -182,7 +182,7 @@ func ExpCorollary2(cfg ExpConfig) ([]Corollary2Result, *Table, error) {
 			n := b * cfg.Scale
 			r, err := RunVertexOnly(cfg.runCfg(uint64(deg)<<40^uint64(n)),
 				func(rr *rand.Rand) (*graph.Graph, error) { return gen.RandomRegularSW(rr, n, deg) },
-				func(g *graph.Graph, rr *rand.Rand, start int) walk.Process {
+				func(g *graph.Graph, rr *rng.Rand, start int) walk.Process {
 					return walk.NewEProcess(g, rr, nil, start)
 				})
 			if err != nil {
@@ -234,12 +234,12 @@ func ExpEdgeSandwich(cfg ExpConfig) ([]SandwichRow, *Table, error) {
 		m := n * deg / 2
 		gf := func(r *rand.Rand) (*graph.Graph, error) { return gen.RandomRegularSW(r, n, deg) }
 		ep, err := Run(cfg.runCfg(uint64(n)), gf,
-			func(g *graph.Graph, r *rand.Rand, start int) walk.Process { return walk.NewEProcess(g, r, nil, start) })
+			func(g *graph.Graph, r *rng.Rand, start int) walk.Process { return walk.NewEProcess(g, r, nil, start) })
 		if err != nil {
 			return nil, nil, err
 		}
 		srw, err := RunVertexOnly(cfg.runCfg(uint64(n)), gf,
-			func(g *graph.Graph, r *rand.Rand, start int) walk.Process { return walk.NewSimple(g, r, start) })
+			func(g *graph.Graph, r *rng.Rand, start int) walk.Process { return walk.NewSimple(g, r, start) })
 		if err != nil {
 			return nil, nil, err
 		}
@@ -301,7 +301,7 @@ func ExpTheorem3(cfg ExpConfig) ([]EdgeCoverRow, *Table, error) {
 	var rows []EdgeCoverRow
 	for i, fam := range families {
 		res, err := Run(cfg.runCfg(uint64(i+1)<<16), fam.build,
-			func(g *graph.Graph, r *rand.Rand, start int) walk.Process { return walk.NewEProcess(g, r, nil, start) })
+			func(g *graph.Graph, r *rng.Rand, start int) walk.Process { return walk.NewEProcess(g, r, nil, start) })
 		if err != nil {
 			return nil, nil, err
 		}
@@ -355,7 +355,7 @@ func ExpCorollary4(cfg ExpConfig) ([]Corollary4Row, *Table, error) {
 		n := b * cfg.Scale
 		res, err := Run(cfg.runCfg(uint64(n)<<8),
 			func(r *rand.Rand) (*graph.Graph, error) { return gen.RandomRegularSW(r, n, 4) },
-			func(g *graph.Graph, r *rand.Rand, start int) walk.Process { return walk.NewEProcess(g, r, nil, start) })
+			func(g *graph.Graph, r *rng.Rand, start int) walk.Process { return walk.NewEProcess(g, r, nil, start) })
 		if err != nil {
 			return nil, nil, err
 		}

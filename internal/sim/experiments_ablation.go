@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/walk"
 )
@@ -37,17 +38,17 @@ func ExpEdgeVsVertexPreference(cfg ExpConfig) ([]AblationRow, *Table, error) {
 			gf := func(r *rand.Rand) (*graph.Graph, error) { return gen.RandomRegularSW(r, n, deg) }
 			salt := uint64(deg)<<48 ^ uint64(n)
 			srw, err := RunVertexOnly(cfg.runCfg(salt), gf,
-				func(g *graph.Graph, r *rand.Rand, s int) walk.Process { return walk.NewSimple(g, r, s) })
+				func(g *graph.Graph, r *rng.Rand, s int) walk.Process { return walk.NewSimple(g, r, s) })
 			if err != nil {
 				return nil, nil, err
 			}
 			vp, err := RunVertexOnly(cfg.runCfg(salt), gf,
-				func(g *graph.Graph, r *rand.Rand, s int) walk.Process { return walk.NewVProcess(g, r, s) })
+				func(g *graph.Graph, r *rng.Rand, s int) walk.Process { return walk.NewVProcess(g, r, s) })
 			if err != nil {
 				return nil, nil, err
 			}
 			ep, err := RunVertexOnly(cfg.runCfg(salt), gf,
-				func(g *graph.Graph, r *rand.Rand, s int) walk.Process { return walk.NewEProcess(g, r, nil, s) })
+				func(g *graph.Graph, r *rng.Rand, s int) walk.Process { return walk.NewEProcess(g, r, nil, s) })
 			if err != nil {
 				return nil, nil, err
 			}
@@ -86,9 +87,9 @@ func ExpAblationGrowth(cfg ExpConfig) ([]GrowthByProcess, *Table, error) {
 		pf   ProcessFactory
 	}
 	procs := []proc{
-		{"srw", func(g *graph.Graph, r *rand.Rand, s int) walk.Process { return walk.NewSimple(g, r, s) }},
-		{"vprocess", func(g *graph.Graph, r *rand.Rand, s int) walk.Process { return walk.NewVProcess(g, r, s) }},
-		{"eprocess", func(g *graph.Graph, r *rand.Rand, s int) walk.Process { return walk.NewEProcess(g, r, nil, s) }},
+		{"srw", func(g *graph.Graph, r *rng.Rand, s int) walk.Process { return walk.NewSimple(g, r, s) }},
+		{"vprocess", func(g *graph.Graph, r *rng.Rand, s int) walk.Process { return walk.NewVProcess(g, r, s) }},
+		{"eprocess", func(g *graph.Graph, r *rng.Rand, s int) walk.Process { return walk.NewEProcess(g, r, nil, s) }},
 	}
 	var out []GrowthByProcess
 	t := NewTable("ABLATION-GROWTH: cover growth by process (4-regular)",

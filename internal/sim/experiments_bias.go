@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/rng"
 	"repro/internal/walk"
 )
 
@@ -31,8 +32,8 @@ func ExpBiasSweep(cfg ExpConfig) ([]BiasRow, *Table, error) {
 		bias := bias
 		res, err := Run(cfg.runCfg(uint64(bias*1000)+0xB1A5),
 			func(r *rand.Rand) (*graph.Graph, error) { return gen.RandomRegularSW(r, n, 4) },
-			func(g *graph.Graph, r *rand.Rand, start int) walk.Process {
-				return walk.NewBiased(g, r, bias, start)
+			func(g *graph.Graph, r *rng.Rand, start int) walk.Process {
+				return walk.NewBiased(g, r.Rand, bias, start)
 			})
 		if err != nil {
 			return nil, nil, err

@@ -37,7 +37,7 @@ func ExpHypercube(cfg ExpConfig) ([]HypercubeRow, *Table, error) {
 	for _, r := range dims {
 		gf := func(*rand.Rand) (*graph.Graph, error) { return gen.Hypercube(r) }
 		ep, err := Run(cfg.runCfg(uint64(r)), gf,
-			func(g *graph.Graph, rr *rand.Rand, start int) walk.Process {
+			func(g *graph.Graph, rr *rng.Rand, start int) walk.Process {
 				return walk.NewEProcess(g, rr, nil, start)
 			})
 		if err != nil {
@@ -150,23 +150,30 @@ type RuleRow struct {
 func ExpRuleIndependence(cfg ExpConfig) ([]RuleRow, *Table, error) {
 	cfg = cfg.withDefaults()
 	n := 500 * cfg.Scale
-	rules := []walk.Rule{
-		walk.Uniform{}, walk.LowestEdgeFirst{}, walk.HighestEdgeFirst{},
-		&walk.RoundRobin{}, walk.TowardVisited{}, walk.TowardUnvisited{},
+	// Rules are built fresh per trial: stateful rules (RoundRobin) carry
+	// per-run state that must not be shared across the worker pool's
+	// concurrent trials.
+	rules := []func() walk.Rule{
+		func() walk.Rule { return walk.Uniform{} },
+		func() walk.Rule { return walk.LowestEdgeFirst{} },
+		func() walk.Rule { return walk.HighestEdgeFirst{} },
+		func() walk.Rule { return &walk.RoundRobin{} },
+		func() walk.Rule { return walk.TowardVisited{} },
+		func() walk.Rule { return walk.TowardUnvisited{} },
 	}
 	var rows []RuleRow
-	for _, rule := range rules {
-		rule := rule
+	for _, newRule := range rules {
+		newRule := newRule
 		res, err := RunVertexOnly(cfg.runCfg(0xA11CE),
 			func(r *rand.Rand) (*graph.Graph, error) { return gen.RandomRegularSW(r, n, 4) },
-			func(g *graph.Graph, r *rand.Rand, start int) walk.Process {
-				return walk.NewEProcess(g, r, rule, start)
+			func(g *graph.Graph, r *rng.Rand, start int) walk.Process {
+				return walk.NewEProcess(g, r, newRule(), start)
 			})
 		if err != nil {
 			return nil, nil, err
 		}
 		rows = append(rows, RuleRow{
-			Rule:       rule.Name(),
+			Rule:       newRule().Name(),
 			N:          n,
 			Vertex:     res.VertexStats.Mean,
 			Normalized: res.VertexStats.Mean / float64(n),
@@ -271,7 +278,7 @@ func ExpGreedyWalk(cfg ExpConfig) ([]GreedyRow, *Table, error) {
 		}
 		res, err := Run(cfg.runCfg(uint64(deg)<<12),
 			func(r *rand.Rand) (*graph.Graph, error) { return gen.RandomRegularSW(r, n, deg) },
-			func(g *graph.Graph, r *rand.Rand, start int) walk.Process { return walk.NewEProcess(g, r, nil, start) })
+			func(g *graph.Graph, r *rng.Rand, start int) walk.Process { return walk.NewEProcess(g, r, nil, start) })
 		if err != nil {
 			return nil, nil, err
 		}
@@ -336,13 +343,13 @@ func ExpProcessComparison(cfg ExpConfig) ([]CompareRow, *Table, error) {
 		build ProcessFactory
 	}
 	procs := []proc{
-		{"srw", func(g *graph.Graph, r *rand.Rand, s int) walk.Process { return walk.NewSimple(g, r, s) }},
-		{"eprocess", func(g *graph.Graph, r *rand.Rand, s int) walk.Process { return walk.NewEProcess(g, r, nil, s) }},
-		{"rwc(2)", func(g *graph.Graph, r *rand.Rand, s int) walk.Process { return walk.NewChoice(g, r, 2, s) }},
-		{"rwc(3)", func(g *graph.Graph, r *rand.Rand, s int) walk.Process { return walk.NewChoice(g, r, 3, s) }},
-		{"rotor", func(g *graph.Graph, r *rand.Rand, s int) walk.Process { return walk.NewRotor(g, r, s) }},
-		{"least-used", func(g *graph.Graph, r *rand.Rand, s int) walk.Process { return walk.NewLeastUsedFirst(g, r, s) }},
-		{"oldest-first", func(g *graph.Graph, r *rand.Rand, s int) walk.Process { return walk.NewOldestFirst(g, r, s) }},
+		{"srw", func(g *graph.Graph, r *rng.Rand, s int) walk.Process { return walk.NewSimple(g, r, s) }},
+		{"eprocess", func(g *graph.Graph, r *rng.Rand, s int) walk.Process { return walk.NewEProcess(g, r, nil, s) }},
+		{"rwc(2)", func(g *graph.Graph, r *rng.Rand, s int) walk.Process { return walk.NewChoice(g, r, 2, s) }},
+		{"rwc(3)", func(g *graph.Graph, r *rng.Rand, s int) walk.Process { return walk.NewChoice(g, r, 3, s) }},
+		{"rotor", func(g *graph.Graph, r *rng.Rand, s int) walk.Process { return walk.NewRotor(g, r, s) }},
+		{"least-used", func(g *graph.Graph, r *rng.Rand, s int) walk.Process { return walk.NewLeastUsedFirst(g, r, s) }},
+		{"oldest-first", func(g *graph.Graph, r *rng.Rand, s int) walk.Process { return walk.NewOldestFirst(g, r, s) }},
 	}
 	var rows []CompareRow
 	for fi, f := range families {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/walk"
 )
@@ -47,7 +48,7 @@ func ExpDegreeSequence(cfg ExpConfig) ([]DegSeqRow, *Table, stats.Growth, error)
 		// probability ~1e−4 on this mixture).
 		res, err := RunVertexOnly(cfg.runCfg(uint64(n)<<2^0xDE65E9),
 			func(r *rand.Rand) (*graph.Graph, error) { return gen.RandomDegreeSequenceSW(r, degrees) },
-			func(g *graph.Graph, r *rand.Rand, start int) walk.Process {
+			func(g *graph.Graph, r *rng.Rand, start int) walk.Process {
 				return walk.NewEProcess(g, r, nil, start)
 			})
 		if err != nil {

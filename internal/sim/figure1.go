@@ -100,7 +100,7 @@ func figure1Point(cfg Figure1Config, d, n int) (Figure1Point, error) {
 	res, err := RunVertexOnly(
 		Config{Seed: seed, Trials: cfg.Trials, Workers: cfg.Workers, Kind: cfg.Kind},
 		func(r *rand.Rand) (*graph.Graph, error) { return gen.RandomRegularSW(r, n, d) },
-		func(g *graph.Graph, r *rand.Rand, start int) walk.Process {
+		func(g *graph.Graph, r *rng.Rand, start int) walk.Process {
 			return walk.NewEProcess(g, r, walk.Uniform{}, start)
 		},
 	)

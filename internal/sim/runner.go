@@ -14,12 +14,16 @@ import (
 )
 
 // GraphFactory builds a graph instance for one trial from the trial's
-// private generator.
+// private generator. It receives the plain math/rand view so generator
+// determinism is independent of the walk layer's fast RNG path.
 type GraphFactory func(r *rand.Rand) (*graph.Graph, error)
 
 // ProcessFactory builds the process under test on g, starting at start,
-// using the trial's private generator.
-type ProcessFactory func(g *graph.Graph, r *rand.Rand, start int) walk.Process
+// using the trial's private generator. The *rng.Rand exposes both the
+// fast bounded-int path (which the walk constructors consume as their
+// Intner) and, via its embedded *rand.Rand, full math/rand interop for
+// processes that need other distributions.
+type ProcessFactory func(g *graph.Graph, r *rng.Rand, start int) walk.Process
 
 // Config controls a trial batch.
 type Config struct {
@@ -42,7 +46,7 @@ func (c Config) withDefaults() Config {
 	if c.Trials == 0 {
 		c.Trials = 5
 	}
-	if c.Workers == 0 {
+	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	if c.Kind == 0 {
@@ -64,6 +68,42 @@ type Result struct {
 	EdgeStats    stats.Summary
 }
 
+// runTrials derives one independent generator per trial from the master
+// seed, then fans the trial indices out over a pool of cfg.Workers
+// goroutines. Each worker owns a single walk.CoverScratch for its whole
+// lifetime, so the per-trial seen-bitmap allocations of the cover
+// drivers are paid once per worker rather than once per trial.
+func runTrials(cfg Config, run func(i int, r *rng.Rand, sc *walk.CoverScratch) error) error {
+	stream := rng.NewStream(cfg.Kind, cfg.Seed)
+	sources := make([]*rng.Rand, cfg.Trials)
+	for i := range sources {
+		sources[i] = stream.NextFastRand()
+	}
+	workers := cfg.Workers
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+	trials := make(chan int)
+	errs := make([]error, cfg.Trials)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sc walk.CoverScratch
+			for i := range trials {
+				errs[i] = run(i, sources[i], &sc)
+			}
+		}()
+	}
+	for i := 0; i < cfg.Trials; i++ {
+		trials <- i
+	}
+	close(trials)
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
 // Run executes cfg.Trials independent trials: build a graph, build the
 // process at start vertex 0, and measure vertex and edge cover times
 // from a single trajectory per trial.
@@ -72,54 +112,30 @@ func Run(cfg Config, gf GraphFactory, pf ProcessFactory) (Result, error) {
 	if gf == nil || pf == nil {
 		return Result{}, errors.New("sim: nil factory")
 	}
-	stream := rng.NewStream(cfg.Kind, cfg.Seed)
-	sources := make([]*rand.Rand, cfg.Trials)
-	for i := range sources {
-		sources[i] = rand.New(stream.Next())
-	}
-
-	type outcome struct {
-		m   Measurement
-		err error
-	}
-	outcomes := make([]outcome, cfg.Trials)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Workers)
-	for i := 0; i < cfg.Trials; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			r := sources[i]
-			g, err := gf(r)
-			if err != nil {
-				outcomes[i] = outcome{err: fmt.Errorf("sim: trial %d graph: %w", i, err)}
-				return
-			}
-			p := pf(g, r, 0)
-			ct, err := walk.Cover(p, cfg.MaxSteps)
-			if err != nil {
-				outcomes[i] = outcome{err: fmt.Errorf("sim: trial %d cover: %w", i, err)}
-				return
-			}
-			outcomes[i] = outcome{m: Measurement{Vertex: float64(ct.Vertex), Edge: float64(ct.Edge)}}
-		}(i)
-	}
-	wg.Wait()
-
-	res := Result{Measurements: make([]Measurement, 0, cfg.Trials)}
-	vs := make([]float64, 0, cfg.Trials)
-	es := make([]float64, 0, cfg.Trials)
-	for _, o := range outcomes {
-		if o.err != nil {
-			return Result{}, o.err
+	measurements := make([]Measurement, cfg.Trials)
+	err := runTrials(cfg, func(i int, r *rng.Rand, sc *walk.CoverScratch) error {
+		g, err := gf(r.Rand)
+		if err != nil {
+			return fmt.Errorf("sim: trial %d graph: %w", i, err)
 		}
-		res.Measurements = append(res.Measurements, o.m)
-		vs = append(vs, o.m.Vertex)
-		es = append(es, o.m.Edge)
+		p := pf(g, r, 0)
+		ct, err := sc.Cover(p, cfg.MaxSteps)
+		if err != nil {
+			return fmt.Errorf("sim: trial %d cover: %w", i, err)
+		}
+		measurements[i] = Measurement{Vertex: float64(ct.Vertex), Edge: float64(ct.Edge)}
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
-	var err error
+	res := Result{Measurements: measurements}
+	vs := make([]float64, cfg.Trials)
+	es := make([]float64, cfg.Trials)
+	for i, m := range measurements {
+		vs[i] = m.Vertex
+		es[i] = m.Edge
+	}
 	if res.VertexStats, err = stats.Summarize(vs); err != nil {
 		return Result{}, err
 	}
@@ -136,50 +152,27 @@ func RunVertexOnly(cfg Config, gf GraphFactory, pf ProcessFactory) (Result, erro
 	if gf == nil || pf == nil {
 		return Result{}, errors.New("sim: nil factory")
 	}
-	stream := rng.NewStream(cfg.Kind, cfg.Seed)
-	sources := make([]*rand.Rand, cfg.Trials)
-	for i := range sources {
-		sources[i] = rand.New(stream.Next())
-	}
-	type outcome struct {
-		v   float64
-		err error
-	}
-	outcomes := make([]outcome, cfg.Trials)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Workers)
-	for i := 0; i < cfg.Trials; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			r := sources[i]
-			g, err := gf(r)
-			if err != nil {
-				outcomes[i] = outcome{err: fmt.Errorf("sim: trial %d graph: %w", i, err)}
-				return
-			}
-			p := pf(g, r, 0)
-			steps, err := walk.VertexCoverSteps(p, cfg.MaxSteps)
-			if err != nil {
-				outcomes[i] = outcome{err: fmt.Errorf("sim: trial %d cover: %w", i, err)}
-				return
-			}
-			outcomes[i] = outcome{v: float64(steps)}
-		}(i)
-	}
-	wg.Wait()
-	res := Result{}
-	vs := make([]float64, 0, cfg.Trials)
-	for _, o := range outcomes {
-		if o.err != nil {
-			return Result{}, o.err
+	vs := make([]float64, cfg.Trials)
+	err := runTrials(cfg, func(i int, r *rng.Rand, sc *walk.CoverScratch) error {
+		g, err := gf(r.Rand)
+		if err != nil {
+			return fmt.Errorf("sim: trial %d graph: %w", i, err)
 		}
-		res.Measurements = append(res.Measurements, Measurement{Vertex: o.v})
-		vs = append(vs, o.v)
+		p := pf(g, r, 0)
+		steps, err := sc.VertexCoverSteps(p, cfg.MaxSteps)
+		if err != nil {
+			return fmt.Errorf("sim: trial %d cover: %w", i, err)
+		}
+		vs[i] = float64(steps)
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
-	var err error
+	res := Result{Measurements: make([]Measurement, cfg.Trials)}
+	for i, v := range vs {
+		res.Measurements[i] = Measurement{Vertex: v}
+	}
 	res.VertexStats, err = stats.Summarize(vs)
 	return res, err
 }

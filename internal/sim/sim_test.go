@@ -18,11 +18,11 @@ func regularFactory(n, d int) GraphFactory {
 	}
 }
 
-func eprocessFactory(g *graph.Graph, r *rand.Rand, start int) walk.Process {
+func eprocessFactory(g *graph.Graph, r *rng.Rand, start int) walk.Process {
 	return walk.NewEProcess(g, r, nil, start)
 }
 
-func srwFactory(g *graph.Graph, r *rand.Rand, start int) walk.Process {
+func srwFactory(g *graph.Graph, r *rng.Rand, start int) walk.Process {
 	return walk.NewSimple(g, r, start)
 }
 

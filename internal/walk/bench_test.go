@@ -1,15 +1,32 @@
 package walk
 
-import "testing"
+import (
+	"testing"
 
-func benchGraph(b *testing.B, n, d int) *EProcess {
+	"repro/internal/rng"
+)
+
+// benchEProcess builds the step benchmark's E-process on the fast
+// concrete-generator path — the configuration internal/sim uses for
+// production sweeps. BenchmarkEProcessStepMathRand covers the
+// math/rand interop path.
+func benchEProcess(b *testing.B, n, d int) *EProcess {
 	b.Helper()
 	g := mustRegular(b, newRand(1), n, d)
-	return NewEProcess(g, newRand(2), nil, 0)
+	return NewEProcess(g, rng.NewXoshiro256(2), nil, 0)
 }
 
 func BenchmarkEProcessStep(b *testing.B) {
-	e := benchGraph(b, 10000, 4)
+	e := benchEProcess(b, 10000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+func BenchmarkEProcessStepMathRand(b *testing.B) {
+	g := mustRegular(b, newRand(1), 10000, 4)
+	e := NewEProcess(g, newRand(2), nil, 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Step()
@@ -18,7 +35,7 @@ func BenchmarkEProcessStep(b *testing.B) {
 
 func BenchmarkSimpleStep(b *testing.B) {
 	g := mustRegular(b, newRand(3), 10000, 4)
-	w := NewSimple(g, newRand(4), 0)
+	w := NewSimple(g, rng.NewXoshiro256(4), 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		w.Step()
@@ -27,7 +44,7 @@ func BenchmarkSimpleStep(b *testing.B) {
 
 func BenchmarkChoiceStep(b *testing.B) {
 	g := mustRegular(b, newRand(5), 10000, 4)
-	c := NewChoice(g, newRand(6), 2, 0)
+	c := NewChoice(g, rng.NewXoshiro256(6), 2, 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Step()
@@ -36,7 +53,7 @@ func BenchmarkChoiceStep(b *testing.B) {
 
 func BenchmarkRotorStep(b *testing.B) {
 	g := mustRegular(b, newRand(7), 10000, 4)
-	ro := NewRotor(g, newRand(8), 0)
+	ro := NewRotor(g, rng.NewXoshiro256(8), 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ro.Step()
@@ -47,8 +64,24 @@ func BenchmarkEProcessFullVertexCover(b *testing.B) {
 	g := mustRegular(b, newRand(9), 5000, 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e := NewEProcess(g, newRand(int64(i)), nil, 0)
+		e := NewEProcess(g, rng.NewXoshiro256(uint64(i)), nil, 0)
 		if _, err := VertexCoverSteps(e, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEProcessFullVertexCoverReuse measures the steady-state trial
+// loop the sim worker pool runs: one process and one CoverScratch,
+// reset between trials — zero allocations per trial.
+func BenchmarkEProcessFullVertexCoverReuse(b *testing.B) {
+	g := mustRegular(b, newRand(9), 5000, 4)
+	e := NewEProcess(g, rng.NewXoshiro256(11), nil, 0)
+	var sc CoverScratch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset(0)
+		if _, err := sc.VertexCoverSteps(e, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -58,7 +91,7 @@ func BenchmarkSRWFullVertexCover(b *testing.B) {
 	g := mustRegular(b, newRand(10), 5000, 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		w := NewSimple(g, newRand(int64(i)), 0)
+		w := NewSimple(g, rng.NewXoshiro256(uint64(i)), 0)
 		if _, err := VertexCoverSteps(w, 0); err != nil {
 			b.Fatal(err)
 		}

@@ -20,16 +20,19 @@ import (
 type Biased struct {
 	g       *graph.Graph
 	r       *rand.Rand
+	halves  []graph.Half // graph CSR adjacency, rebound at each Reset
+	off     []int32
 	bias    float64
 	visited []bool
-	pending [][]graph.Half
+	pend    edgeArena
 	cur     int
 }
 
 var _ Process = (*Biased)(nil)
 
 // NewBiased returns a biased unvisited-edge walk. bias is clamped to
-// [0,1].
+// [0,1]. It takes a *rand.Rand (not an Intner) because the bias coin is
+// a Float64 draw.
 func NewBiased(g *graph.Graph, r *rand.Rand, bias float64, start int) *Biased {
 	if bias < 0 {
 		bias = 0
@@ -51,29 +54,16 @@ func (b *Biased) Current() int { return b.cur }
 // Bias returns the preference strength.
 func (b *Biased) Bias() float64 { return b.bias }
 
-func (b *Biased) prune(v int) {
-	p := b.pending[v]
-	for i := 0; i < len(p); {
-		if b.visited[p[i].ID] {
-			p[i] = p[len(p)-1]
-			p = p[:len(p)-1]
-		} else {
-			i++
-		}
-	}
-	b.pending[v] = p
-}
-
 // Step implements Process.
 func (b *Biased) Step() (int, int) {
 	v := b.cur
-	b.prune(v)
-	p := b.pending[v]
+	b.pend.prune(v, b.visited)
+	p := b.pend.pending(v)
 	var h graph.Half
 	if len(p) > 0 && (b.bias >= 1 || b.r.Float64() < b.bias) {
 		h = p[b.r.Intn(len(p))]
 	} else {
-		adj := b.g.Adj(v)
+		adj := b.halves[b.off[v]:b.off[v+1]]
 		h = adj[b.r.Intn(len(adj))]
 	}
 	b.visited[h.ID] = true
@@ -81,14 +71,13 @@ func (b *Biased) Step() (int, int) {
 	return h.ID, b.cur
 }
 
-// Reset implements Process.
+// Reset implements Process. It reuses the pending arena and visited
+// bitmap (no allocation after the first Reset) and rebinds to the
+// graph's current CSR arrays.
 func (b *Biased) Reset(start int) {
 	b.cur = start
-	b.visited = make([]bool, b.g.M())
-	b.pending = make([][]graph.Half, b.g.N())
-	for v := 0; v < b.g.N(); v++ {
-		adj := b.g.Adj(v)
-		b.pending[v] = make([]graph.Half, len(adj))
-		copy(b.pending[v], adj)
-	}
+	b.halves = b.g.Halves()
+	b.off = b.g.Offsets()
+	b.visited = reuse(b.visited, b.g.M())
+	b.pend.reset(b.g)
 }

@@ -1,8 +1,6 @@
 package walk
 
 import (
-	"math/rand"
-
 	"repro/internal/graph"
 )
 
@@ -13,7 +11,9 @@ import (
 // RWC(1) is the simple random walk.
 type Choice struct {
 	g      *graph.Graph
-	r      *rand.Rand
+	ri     Intner
+	halves []graph.Half // graph CSR adjacency, rebound at each Reset
+	off    []int32
 	d      int
 	visits []int64 // per-vertex visit counts, start vertex counts once
 	cur    int
@@ -23,11 +23,11 @@ var _ Process = (*Choice)(nil)
 
 // NewChoice returns an RWC(d) walk on g starting at start. d must be
 // at least 1.
-func NewChoice(g *graph.Graph, r *rand.Rand, d, start int) *Choice {
+func NewChoice(g *graph.Graph, r Intner, d, start int) *Choice {
 	if d < 1 {
 		d = 1
 	}
-	c := &Choice{g: g, r: r, d: d}
+	c := &Choice{g: g, ri: r, d: d}
 	c.Reset(start)
 	return c
 }
@@ -44,19 +44,19 @@ func (c *Choice) Visits(v int) int64 { return c.visits[v] }
 
 // Step implements Process.
 func (c *Choice) Step() (int, int) {
-	adj := c.g.Adj(c.cur)
-	best := adj[c.r.Intn(len(adj))]
+	adj := c.halves[c.off[c.cur]:c.off[c.cur+1]]
+	best := adj[c.ri.Intn(len(adj))]
 	bestVisits := c.visits[best.To]
 	ties := 1
 	for i := 1; i < c.d; i++ {
-		h := adj[c.r.Intn(len(adj))]
+		h := adj[c.ri.Intn(len(adj))]
 		switch vc := c.visits[h.To]; {
 		case vc < bestVisits:
 			best, bestVisits, ties = h, vc, 1
 		case vc == bestVisits:
 			// Reservoir-style uniform tie break among sampled minima.
 			ties++
-			if c.r.Intn(ties) == 0 {
+			if c.ri.Intn(ties) == 0 {
 				best = h
 			}
 		}
@@ -66,9 +66,13 @@ func (c *Choice) Step() (int, int) {
 	return best.ID, c.cur
 }
 
-// Reset implements Process.
+// Reset implements Process. It reuses the visit counters (no
+// allocation after the first Reset) and rebinds to the graph's current
+// CSR arrays.
 func (c *Choice) Reset(start int) {
 	c.cur = start
-	c.visits = make([]int64, c.g.N())
+	c.halves = c.g.Halves()
+	c.off = c.g.Offsets()
+	c.visits = reuse(c.visits, c.g.N())
 	c.visits[start] = 1
 }

@@ -27,6 +27,28 @@
 // (VertexCoverSteps, EdgeCoverSteps, CoverTimes) can measure vertex and
 // edge cover times for any of them without knowing their internals.
 //
-// Randomised processes draw from an injected *rand.Rand; given equal
-// seeds, runs are bit-for-bit reproducible.
+// # Memory discipline
+//
+// The step loop is the hot path of every experiment, so the engine is
+// allocation-free after construction. Processes run on their graph's
+// frozen CSR layout (constructors call Freeze and cache the flat
+// Halves/Offsets arrays); the E-process keeps its per-vertex pending
+// (unvisited) half-edges in a single flat arena mirroring the CSR block
+// (see edgeArena for the invariants), and Reset refills that arena with
+// one copy and clears bitmaps in place — no per-vertex allocation, and
+// zero allocation from the second Reset on. Callers that measure many
+// trials reuse the cover drivers' seen-bitmaps through CoverScratch;
+// the package-level VertexCoverSteps/EdgeCoverSteps/Cover remain as
+// one-shot conveniences. internal/walk/alloc_test.go pins all of this
+// with testing.AllocsPerRun.
+//
+// # Randomness
+//
+// Randomised processes draw bounded ints through the minimal Intner
+// interface. Passing a *math/rand.Rand preserves the historical draw
+// sequence bit-for-bit (see the golden-trajectory tests); passing a
+// concrete internal/rng generator routes every draw through Lemire's
+// nearly-divisionless bounded-int method, which is what the simulation
+// harness does for production sweeps. Given equal seeds and the same
+// source kind, runs are bit-for-bit reproducible.
 package walk

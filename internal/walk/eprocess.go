@@ -48,19 +48,30 @@ func (s Stats) Total() int64 { return s.RedSteps + s.BlueSteps }
 //
 // The Rule is the paper's "rule A": it may be random, deterministic, or
 // adversarial; Theorem 1's bound is independent of it.
+//
+// The process runs on the graph's frozen CSR layout and allocates
+// nothing after construction: pending unvisited halves live in a single
+// flat arena (see edgeArena) that Reset refills with one copy from the
+// graph's CSR block, and the visited bitmap is cleared in place.
 type EProcess struct {
 	g    *graph.Graph
-	r    *rand.Rand
+	ri   Intner
+	r    *rand.Rand // interop view of ri for Rand(); may be nil
 	rule Rule
 
 	cur     int
 	visited []bool // by edge ID
 
-	// pending[v] holds candidate unvisited half-edges at v. Entries
-	// whose edge has since been visited (from the other endpoint) are
-	// pruned lazily on access; each half is pruned at most once, so
-	// maintenance is O(m) over the whole run.
-	pending [][]graph.Half
+	// pend holds the candidate unvisited half-edges of every vertex in
+	// one flat block. Entries whose edge has since been visited (from
+	// the other endpoint) are pruned lazily on access; each half is
+	// pruned at most once, so maintenance is O(m) over the whole run.
+	pend edgeArena
+
+	// halves/off are the graph's CSR adjacency, cached (and rebound at
+	// each Reset) so red steps index it without a method call.
+	halves []graph.Half
+	off    []int32
 
 	stats Stats
 	phase Phase
@@ -75,25 +86,27 @@ var _ Process = (*EProcess)(nil)
 
 // NewEProcess returns an E-process on g starting at start, choosing
 // among unvisited edges with rule (nil means the uniform rule, i.e.
-// Orenshtein & Shinkar's Greedy Random Walk).
-func NewEProcess(g *graph.Graph, r *rand.Rand, rule Rule, start int) *EProcess {
+// Orenshtein & Shinkar's Greedy Random Walk). r is typically a
+// *math/rand.Rand (trajectories then match the historical math/rand
+// draw sequence) or a concrete internal/rng generator for the fast
+// bounded-int path.
+func NewEProcess(g *graph.Graph, r Intner, rule Rule, start int) *EProcess {
 	if rule == nil {
 		rule = Uniform{}
 	}
-	e := &EProcess{g: g, r: r, rule: rule}
+	e := &EProcess{g: g, ri: r, r: interopRand(r), rule: rule}
 	e.init(start)
 	return e
 }
 
 func (e *EProcess) init(start int) {
 	e.cur = start
-	e.visited = make([]bool, e.g.M())
-	e.pending = make([][]graph.Half, e.g.N())
-	for v := 0; v < e.g.N(); v++ {
-		adj := e.g.Adj(v)
-		e.pending[v] = make([]graph.Half, len(adj))
-		copy(e.pending[v], adj)
-	}
+	// Rebind to the graph's current CSR arrays: a mutation since the
+	// last run thawed and re-froze the graph into new storage.
+	e.halves = e.g.Halves()
+	e.off = e.g.Offsets()
+	e.visited = reuse(e.visited, e.g.M())
+	e.pend.reset(e.g)
 	e.stats = Stats{}
 	e.phase = 0
 	e.phaseLens = nil
@@ -107,9 +120,17 @@ func (e *EProcess) Graph() *graph.Graph { return e.g }
 // Current implements Process.
 func (e *EProcess) Current() int { return e.cur }
 
-// Rand returns the process's random source, for use by randomised
-// Rules.
+// Rand returns a *math/rand.Rand view of the process's random source,
+// for Rules that need distributions beyond bounded ints. It shares
+// state with the hot-path source. It is nil when the process was built
+// from an Intner with no math/rand interop.
 func (e *EProcess) Rand() *rand.Rand { return e.r }
+
+// Intn draws a uniform int from [0, n) from the process's random
+// source — the fast bounded path when the source is a concrete
+// internal/rng generator. Randomised Rules should prefer this over
+// Rand().Intn.
+func (e *EProcess) Intn(n int) int { return e.ri.Intn(n) }
 
 // EdgeVisited reports whether edge id has been traversed.
 func (e *EProcess) EdgeVisited(id int) bool { return e.visited[id] }
@@ -117,8 +138,8 @@ func (e *EProcess) EdgeVisited(id int) bool { return e.visited[id] }
 // BlueDegree returns the number of unvisited edge-endpoints at v (loops
 // count twice), i.e. the blue degree of Observation 10.
 func (e *EProcess) BlueDegree(v int) int {
-	e.prune(v)
-	return len(e.pending[v])
+	e.pend.prune(v, e.visited)
+	return len(e.pend.pending(v))
 }
 
 // UnvisitedEdgeIDs returns the IDs of all currently unvisited edges, in
@@ -157,26 +178,16 @@ func (e *EProcess) BluePhaseLengths() []int64 {
 // Phase returns the colour of the most recent step (0 before any step).
 func (e *EProcess) Phase() Phase { return e.phase }
 
-// prune removes half-edges whose edge has been visited from pending[v].
-func (e *EProcess) prune(v int) {
-	p := e.pending[v]
-	for i := 0; i < len(p); {
-		if e.visited[p[i].ID] {
-			p[i] = p[len(p)-1]
-			p = p[:len(p)-1]
-		} else {
-			i++
-		}
-	}
-	e.pending[v] = p
-}
-
 // Step implements Process.
 func (e *EProcess) Step() (int, int) {
 	v := e.cur
-	e.prune(v)
-	p := e.pending[v]
-	if len(p) > 0 {
+	// Once a vertex's pending block is empty it stays empty, so the
+	// steady state of a long run (all edges found, walk finishing the
+	// vertex cover red) skips the prune scan with one comparison.
+	if e.pend.end[v] > e.pend.off[v] {
+		e.pend.prune(v, e.visited)
+	}
+	if p := e.pend.pending(v); len(p) > 0 {
 		// Blue step: the rule chooses which unvisited edge to cross.
 		// The paper allows arbitrary (even adversarial) rules, so the
 		// process validates the choice rather than trusting it: a rule
@@ -191,8 +202,7 @@ func (e *EProcess) Step() (int, int) {
 		e.visited[h.ID] = true
 		// Swap-remove the chosen half; its twin at the far endpoint is
 		// pruned lazily when that vertex is next queried.
-		p[idx] = p[len(p)-1]
-		e.pending[v] = p[:len(p)-1]
+		e.pend.remove(v, idx)
 		e.cur = h.To
 		e.stats.BlueSteps++
 		if e.phase != PhaseBlue {
@@ -205,8 +215,8 @@ func (e *EProcess) Step() (int, int) {
 		return h.ID, e.cur
 	}
 	// Red step: simple random walk over the full adjacency.
-	adj := e.g.Adj(v)
-	h := adj[e.r.Intn(len(adj))]
+	adj := e.halves[e.off[v]:e.off[v+1]]
+	h := adj[e.ri.Intn(len(adj))]
 	e.cur = h.To
 	e.stats.RedSteps++
 	if e.phase != PhaseRed {
@@ -220,5 +230,6 @@ func (e *EProcess) Step() (int, int) {
 	return h.ID, e.cur
 }
 
-// Reset implements Process.
+// Reset implements Process. It reuses all internal storage; after the
+// first Reset on a given graph it performs no allocation.
 func (e *EProcess) Reset(start int) { e.init(start) }

@@ -1,8 +1,6 @@
 package walk
 
 import (
-	"math/rand"
-
 	"repro/internal/graph"
 )
 
@@ -12,17 +10,19 @@ import (
 // random). It covers all edges in O(mD) steps and equalises edge
 // frequencies in the long run.
 type LeastUsedFirst struct {
-	g    *graph.Graph
-	r    *rand.Rand
-	used []int64 // per-edge traversal counts
-	cur  int
+	g      *graph.Graph
+	ri     Intner
+	halves []graph.Half // graph CSR adjacency, rebound at each Reset
+	off    []int32
+	used   []int64 // per-edge traversal counts
+	cur    int
 }
 
 var _ Process = (*LeastUsedFirst)(nil)
 
 // NewLeastUsedFirst returns a least-used-first walk starting at start.
-func NewLeastUsedFirst(g *graph.Graph, r *rand.Rand, start int) *LeastUsedFirst {
-	l := &LeastUsedFirst{g: g, r: r}
+func NewLeastUsedFirst(g *graph.Graph, r Intner, start int) *LeastUsedFirst {
+	l := &LeastUsedFirst{g: g, ri: r}
 	l.Reset(start)
 	return l
 }
@@ -38,7 +38,7 @@ func (l *LeastUsedFirst) Uses(id int) int64 { return l.used[id] }
 
 // Step implements Process.
 func (l *LeastUsedFirst) Step() (int, int) {
-	adj := l.g.Adj(l.cur)
+	adj := l.halves[l.off[l.cur]:l.off[l.cur+1]]
 	best := adj[0]
 	bestUsed := l.used[best.ID]
 	ties := 1
@@ -48,7 +48,7 @@ func (l *LeastUsedFirst) Step() (int, int) {
 			best, bestUsed, ties = h, u, 1
 		case u == bestUsed:
 			ties++
-			if l.r.Intn(ties) == 0 {
+			if l.ri.Intn(ties) == 0 {
 				best = h
 			}
 		}
@@ -61,7 +61,9 @@ func (l *LeastUsedFirst) Step() (int, int) {
 // Reset implements Process.
 func (l *LeastUsedFirst) Reset(start int) {
 	l.cur = start
-	l.used = make([]int64, l.g.M())
+	l.halves = l.g.Halves()
+	l.off = l.g.Offsets()
+	l.used = reuse(l.used, l.g.M())
 }
 
 // OldestFirst is the companion strategy: traverse the incident edge
@@ -70,18 +72,20 @@ func (l *LeastUsedFirst) Reset(start int) {
 // rule can be exponentially slow on some graphs, a contrast the
 // comparison bench exercises.
 type OldestFirst struct {
-	g    *graph.Graph
-	r    *rand.Rand
-	last []int64 // step of most recent traversal; 0 = never
-	step int64
-	cur  int
+	g      *graph.Graph
+	ri     Intner
+	halves []graph.Half // graph CSR adjacency, rebound at each Reset
+	off    []int32
+	last   []int64 // step of most recent traversal; 0 = never
+	step   int64
+	cur    int
 }
 
 var _ Process = (*OldestFirst)(nil)
 
 // NewOldestFirst returns an oldest-first walk starting at start.
-func NewOldestFirst(g *graph.Graph, r *rand.Rand, start int) *OldestFirst {
-	o := &OldestFirst{g: g, r: r}
+func NewOldestFirst(g *graph.Graph, r Intner, start int) *OldestFirst {
+	o := &OldestFirst{g: g, ri: r}
 	o.Reset(start)
 	return o
 }
@@ -94,7 +98,7 @@ func (o *OldestFirst) Current() int { return o.cur }
 
 // Step implements Process.
 func (o *OldestFirst) Step() (int, int) {
-	adj := o.g.Adj(o.cur)
+	adj := o.halves[o.off[o.cur]:o.off[o.cur+1]]
 	best := adj[0]
 	bestLast := o.last[best.ID]
 	ties := 1
@@ -104,7 +108,7 @@ func (o *OldestFirst) Step() (int, int) {
 			best, bestLast, ties = h, lt, 1
 		case lt == bestLast:
 			ties++
-			if o.r.Intn(ties) == 0 {
+			if o.ri.Intn(ties) == 0 {
 				best = h
 			}
 		}
@@ -118,6 +122,8 @@ func (o *OldestFirst) Step() (int, int) {
 // Reset implements Process.
 func (o *OldestFirst) Reset(start int) {
 	o.cur = start
-	o.last = make([]int64, o.g.M())
+	o.halves = o.g.Halves()
+	o.off = o.g.Offsets()
+	o.last = reuse(o.last, o.g.M())
 	o.step = 0
 }

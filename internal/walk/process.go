@@ -26,18 +26,49 @@ type Process interface {
 	Reset(start int)
 }
 
+// CoverScratch holds the seen-vertex/seen-edge bitmaps the cover
+// drivers need, so a caller running many trials (e.g. a sim worker)
+// reuses one allocation instead of paying O(n+m) garbage per trial.
+// The zero value is ready to use; it grows on demand and is not safe
+// for concurrent use.
+type CoverScratch struct {
+	seenV []bool
+	seenE []bool
+}
+
+// vertexSeen returns a cleared n-element bitmap, reusing prior storage
+// when it is large enough.
+func (sc *CoverScratch) vertexSeen(n int) []bool {
+	sc.seenV = reuse(sc.seenV, n)
+	return sc.seenV
+}
+
+// edgeSeen returns a cleared m-element bitmap, reusing prior storage
+// when it is large enough.
+func (sc *CoverScratch) edgeSeen(m int) []bool {
+	sc.seenE = reuse(sc.seenE, m)
+	return sc.seenE
+}
+
 // VertexCoverSteps runs p until every vertex of its graph has been
 // visited (the start vertex counts as visited at step 0) and returns
 // the number of steps taken. maxSteps caps the run; maxSteps <= 0 means
 // a default of 10000·n·ceil(log2 n) steps, far beyond any process here
 // on connected graphs.
 func VertexCoverSteps(p Process, maxSteps int64) (int64, error) {
+	var sc CoverScratch
+	return sc.VertexCoverSteps(p, maxSteps)
+}
+
+// VertexCoverSteps is the scratch-reusing form of the package-level
+// function.
+func (sc *CoverScratch) VertexCoverSteps(p Process, maxSteps int64) (int64, error) {
 	g := p.Graph()
 	n := g.N()
 	if maxSteps <= 0 {
 		maxSteps = defaultBudget(n)
 	}
-	seen := make([]bool, n)
+	seen := sc.vertexSeen(n)
 	seen[p.Current()] = true
 	remaining := n - 1
 	var steps int64
@@ -58,12 +89,19 @@ func VertexCoverSteps(p Process, maxSteps int64) (int64, error) {
 // EdgeCoverSteps runs p until every edge of its graph has been
 // traversed at least once and returns the number of steps taken.
 func EdgeCoverSteps(p Process, maxSteps int64) (int64, error) {
+	var sc CoverScratch
+	return sc.EdgeCoverSteps(p, maxSteps)
+}
+
+// EdgeCoverSteps is the scratch-reusing form of the package-level
+// function.
+func (sc *CoverScratch) EdgeCoverSteps(p Process, maxSteps int64) (int64, error) {
 	g := p.Graph()
 	m := g.M()
 	if maxSteps <= 0 {
 		maxSteps = defaultBudget(g.N() + m)
 	}
-	seen := make([]bool, m)
+	seen := sc.edgeSeen(m)
 	remaining := m
 	var steps int64
 	for remaining > 0 {
@@ -90,14 +128,20 @@ type CoverTimes struct {
 
 // Cover runs p until both vertices and edges are covered.
 func Cover(p Process, maxSteps int64) (CoverTimes, error) {
+	var sc CoverScratch
+	return sc.Cover(p, maxSteps)
+}
+
+// Cover is the scratch-reusing form of the package-level function.
+func (sc *CoverScratch) Cover(p Process, maxSteps int64) (CoverTimes, error) {
 	g := p.Graph()
 	n, m := g.N(), g.M()
 	if maxSteps <= 0 {
 		maxSteps = defaultBudget(n + m)
 	}
-	seenV := make([]bool, n)
+	seenV := sc.vertexSeen(n)
 	seenV[p.Current()] = true
-	seenE := make([]bool, m)
+	seenE := sc.edgeSeen(m)
 	leftV, leftE := n-1, m
 	var ct CoverTimes
 	var steps int64

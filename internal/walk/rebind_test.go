@@ -1,0 +1,85 @@
+package walk
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// A walk Reset after a graph mutation must see the new edges: the
+// frozen CSR arrays are reallocated by the thaw/refreeze cycle, so
+// processes rebind their cached views in Reset rather than holding the
+// construction-time arrays forever.
+func TestResetRebindsAfterMutation(t *testing.T) {
+	g := graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 0}})
+	build := func() map[string]Process {
+		return map[string]Process{
+			"simple":     NewSimple(g, rng.NewXoshiro256(1), 0),
+			"eprocess":   NewEProcess(g, rng.NewXoshiro256(2), nil, 0),
+			"vprocess":   NewVProcess(g, rng.NewXoshiro256(3), 0),
+			"choice":     NewChoice(g, rng.NewXoshiro256(4), 2, 0),
+			"rotor":      NewRotor(g, rng.NewXoshiro256(5), 0),
+			"least-used": NewLeastUsedFirst(g, rng.NewXoshiro256(6), 0),
+			"oldest":     NewOldestFirst(g, rng.NewXoshiro256(7), 0),
+			"biased":     NewBiased(g, rand.New(rand.NewSource(8)), 0.5, 0),
+		}
+	}
+	procs := build()
+	// Mutate: add a chord. This thaws and refreezes the graph into new
+	// CSR arrays.
+	if err := g.AddEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	newEdge := g.M() - 1
+	for name, p := range procs {
+		p.Reset(0)
+		seen := false
+		for i := 0; i < 4000 && !seen; i++ {
+			e, _ := p.Step()
+			if e == newEdge {
+				seen = true
+			}
+		}
+		if !seen {
+			t.Errorf("%s: edge added before Reset never traversed in 4000 steps — stale CSR binding", name)
+		}
+		if p.Graph().M() != 5 {
+			t.Errorf("%s: process graph lost the mutation", name)
+		}
+	}
+}
+
+// A nil *rand.Rand passed through the Intner interface must keep
+// meaning "deterministic rotors", not panic on a typed-nil dereference.
+func TestRotorTypedNilRand(t *testing.T) {
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
+	var r *rand.Rand
+	ro := NewRotor(g, r, 0) // must not panic
+	e, v := ro.Step()
+	if e != 0 || v != 1 {
+		t.Errorf("deterministic rotor first step = (%d,%d), want (0,1) (adjacency position 0)", e, v)
+	}
+	ro2 := NewRotor(g, nil, 0)
+	e2, v2 := ro2.Step()
+	if e != e2 || v != v2 {
+		t.Errorf("typed-nil and untyped-nil rotors diverge: (%d,%d) vs (%d,%d)", e, v, e2, v2)
+	}
+}
+
+// A rotor walk on an isolated vertex must fail loudly (as the pre-CSR
+// slice indexing did), not silently read a neighbouring CSR block.
+func TestRotorIsolatedVertexPanics(t *testing.T) {
+	g := graph.New(3)
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	ro := NewRotor(g, nil, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("Step on isolated vertex did not panic")
+		}
+	}()
+	ro.Step()
+}

@@ -1,7 +1,7 @@
 package walk
 
 import (
-	"math/rand"
+	"fmt"
 
 	"repro/internal/graph"
 )
@@ -14,20 +14,26 @@ import (
 // The paper positions the E-process as a hybrid between this machine
 // and a random walk.
 type Rotor struct {
-	g     *graph.Graph
-	rotor []int // per-vertex index into Adj(v)
-	cur   int
+	g      *graph.Graph
+	halves []graph.Half // graph CSR adjacency, rebound at each Reset
+	off    []int32
+	rotor  []int32 // per-vertex index into Adj(v)
+	cur    int
 
-	// initRandom remembers whether Reset should re-randomise rotors.
-	r *rand.Rand
+	// r, when non-nil, re-randomises rotor positions on every Reset.
+	r Intner
 }
 
 var _ Process = (*Rotor)(nil)
 
 // NewRotor returns a rotor-router walk starting at start. If r is
-// non-nil the initial rotor positions are randomised; with r == nil all
+// non-nil the initial rotor positions are randomised; with r == nil
+// (including a nil *rand.Rand — the historical signature's idiom) all
 // rotors start at adjacency position 0.
-func NewRotor(g *graph.Graph, r *rand.Rand, start int) *Rotor {
+func NewRotor(g *graph.Graph, r Intner, start int) *Rotor {
+	if isNilIntner(r) {
+		r = nil
+	}
 	ro := &Rotor{g: g, r: r}
 	ro.Reset(start)
 	return ro
@@ -39,23 +45,36 @@ func (ro *Rotor) Graph() *graph.Graph { return ro.g }
 // Current implements Process.
 func (ro *Rotor) Current() int { return ro.cur }
 
-// Step implements Process.
+// Step implements Process. It panics when the walk sits on an isolated
+// vertex (as the slice indexing of the pre-CSR layout did) — indexing
+// the flat halves array with an empty block would otherwise silently
+// read a neighbouring vertex's half-edge.
 func (ro *Rotor) Step() (int, int) {
-	adj := ro.g.Adj(ro.cur)
-	h := adj[ro.rotor[ro.cur]]
-	ro.rotor[ro.cur] = (ro.rotor[ro.cur] + 1) % len(adj)
+	v := ro.cur
+	lo, hi := ro.off[v], ro.off[v+1]
+	if lo == hi {
+		panic(fmt.Sprintf("walk: rotor walk stranded on isolated vertex %d", v))
+	}
+	h := ro.halves[lo+ro.rotor[v]]
+	ro.rotor[v]++
+	if ro.rotor[v] >= hi-lo {
+		ro.rotor[v] = 0
+	}
 	ro.cur = h.To
 	return h.ID, ro.cur
 }
 
-// Reset implements Process.
+// Reset implements Process. It reuses the rotor array (no allocation
+// after the first Reset) and rebinds to the graph's current CSR arrays.
 func (ro *Rotor) Reset(start int) {
 	ro.cur = start
-	ro.rotor = make([]int, ro.g.N())
+	ro.halves = ro.g.Halves()
+	ro.off = ro.g.Offsets()
+	ro.rotor = reuse(ro.rotor, ro.g.N())
 	if ro.r != nil {
 		for v := range ro.rotor {
-			if d := ro.g.Degree(v); d > 0 {
-				ro.rotor[v] = ro.r.Intn(d)
+			if d := int(ro.off[v+1] - ro.off[v]); d > 0 {
+				ro.rotor[v] = int32(ro.r.Intn(d))
 			}
 		}
 	}

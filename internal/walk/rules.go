@@ -4,8 +4,9 @@ import "repro/internal/graph"
 
 // Rule is the paper's "rule A": given the unvisited half-edges at the
 // current vertex, choose which to cross. Implementations may be
-// randomised (via p.Rand()), deterministic, stateful, or adversarial —
-// Theorem 1 holds for all of them.
+// randomised (via p.Intn, or p.Rand() for distributions beyond bounded
+// ints), deterministic, stateful, or adversarial — Theorem 1 holds for
+// all of them.
 type Rule interface {
 	// Name identifies the rule in experiment output.
 	Name() string
@@ -29,7 +30,7 @@ func (Uniform) Name() string { return "uniform" }
 
 // Choose implements Rule.
 func (Uniform) Choose(p *EProcess, _ int, unvisited []graph.Half) int {
-	return p.Rand().Intn(len(unvisited))
+	return p.Intn(len(unvisited))
 }
 
 // Reset implements Rule.
@@ -89,9 +90,10 @@ type RoundRobin struct {
 // Name implements Rule.
 func (rr *RoundRobin) Name() string { return "round-robin" }
 
-// Reset implements Rule.
+// Reset implements Rule. It reuses the rotor array; after the first
+// Reset on a given graph it performs no allocation.
 func (rr *RoundRobin) Reset(g *graph.Graph) {
-	rr.next = make([]int, g.N())
+	rr.next = reuse(rr.next, g.N())
 }
 
 // Choose implements Rule.

@@ -13,30 +13,34 @@ import (
 // loop at v is chosen with probability 2·loops/d(v), matching the
 // transition matrix used throughout the paper's Section 2.
 type Simple struct {
-	g     *graph.Graph
-	r     *rand.Rand
-	cur   int
-	start int
-	// Laziness: probability numerator lazyNum / 2 of staying put. For
-	// the paper's lazy walk lazyNum = 1 (stay with probability 1/2).
+	g      *graph.Graph
+	ri     Intner
+	halves []graph.Half // graph CSR adjacency, rebound at each Reset
+	off    []int32
+	cur    int
+	start  int
+	// Laziness: stay put with probability 1/2 (the paper's lazy walk,
+	// Section 2.1). Lazy stays are reported with edge ID −1 since no
+	// edge is traversed.
 	lazy bool
-	// loopAt caches, for lazy self-steps, an arbitrary incident edge ID
-	// used as the reported "traversed" edge. Lazy stays are reported
-	// with edge ID −1 since no edge is traversed.
 }
 
 var _ Process = (*Simple)(nil)
 
 // NewSimple returns a simple random walk on g starting at start.
-func NewSimple(g *graph.Graph, r *rand.Rand, start int) *Simple {
-	return &Simple{g: g, r: r, cur: start, start: start}
+func NewSimple(g *graph.Graph, r Intner, start int) *Simple {
+	s := &Simple{g: g, ri: r}
+	s.Reset(start)
+	return s
 }
 
 // NewLazy returns a lazy simple random walk: with probability 1/2 stay,
 // otherwise step as the simple walk. Lazy stays report edge ID −1.
 // The paper makes walks lazy whenever λmax ≠ λ2 (Section 2.1).
-func NewLazy(g *graph.Graph, r *rand.Rand, start int) *Simple {
-	return &Simple{g: g, r: r, cur: start, start: start, lazy: true}
+func NewLazy(g *graph.Graph, r Intner, start int) *Simple {
+	s := NewSimple(g, r, start)
+	s.lazy = true
+	return s
 }
 
 // Graph implements Process.
@@ -47,19 +51,22 @@ func (s *Simple) Current() int { return s.cur }
 
 // Step implements Process. A lazy stay returns (-1, current).
 func (s *Simple) Step() (int, int) {
-	if s.lazy && s.r.Intn(2) == 0 {
+	if s.lazy && s.ri.Intn(2) == 0 {
 		return -1, s.cur
 	}
-	adj := s.g.Adj(s.cur)
-	h := adj[s.r.Intn(len(adj))]
+	adj := s.halves[s.off[s.cur]:s.off[s.cur+1]]
+	h := adj[s.ri.Intn(len(adj))]
 	s.cur = h.To
 	return h.ID, s.cur
 }
 
-// Reset implements Process.
+// Reset implements Process. It rebinds to the graph's current CSR
+// arrays, so a walk Reset after a graph mutation sees the new edges.
 func (s *Simple) Reset(start int) {
 	s.cur = start
 	s.start = start
+	s.halves = s.g.Halves()
+	s.off = s.g.Offsets()
 }
 
 // Weighted is a reversible weighted random walk: from x it moves to a

@@ -1,0 +1,55 @@
+package walk
+
+import (
+	"math/rand"
+	"reflect"
+
+	"repro/internal/rng"
+)
+
+// Intner is the minimal randomness interface walk hot paths consume: a
+// uniform draw from [0, n). *math/rand.Rand satisfies it, preserving
+// the historical behaviour (and step-for-step trajectories) of every
+// existing caller; the concrete generators in internal/rng satisfy it
+// through their nearly-divisionless Lemire path, which is what the
+// simulation harness passes so that hot loops skip math/rand's
+// interface dispatch and modulo-rejection divisions entirely.
+type Intner interface {
+	Intn(n int) int
+}
+
+// isNilIntner reports whether ri is nil or a typed nil pointer (e.g. a
+// nil *rand.Rand passed through the Intner interface) — callers that
+// treat "no randomness" as meaningful (Rotor) must not dereference it.
+// Reflection covers every pointer-backed implementation, present and
+// future; it only runs at construction, never on the hot path.
+func isNilIntner(ri Intner) bool {
+	if ri == nil {
+		return true
+	}
+	v := reflect.ValueOf(ri)
+	switch v.Kind() {
+	case reflect.Pointer, reflect.Map, reflect.Chan, reflect.Func, reflect.Slice, reflect.Interface:
+		return v.IsNil()
+	}
+	return false
+}
+
+// interopRand derives a *rand.Rand view of ri for callers that need the
+// full math/rand API (e.g. randomised Rules via EProcess.Rand). When ri
+// is already a *rand.Rand (or wraps one) that exact instance is
+// returned, so the draw stream stays unified; a bare concrete generator
+// is wrapped, sharing its state with the fast path. Returns nil when no
+// interop view exists.
+func interopRand(ri Intner) *rand.Rand {
+	switch r := ri.(type) {
+	case *rand.Rand:
+		return r
+	case *rng.Rand:
+		return r.Rand
+	case rand.Source64:
+		return rand.New(r)
+	default:
+		return nil
+	}
+}

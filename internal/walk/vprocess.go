@@ -1,8 +1,6 @@
 package walk
 
 import (
-	"math/rand"
-
 	"repro/internal/graph"
 )
 
@@ -21,7 +19,9 @@ import (
 // does not.
 type VProcess struct {
 	g       *graph.Graph
-	r       *rand.Rand
+	ri      Intner
+	halves  []graph.Half // graph CSR adjacency, rebound at each Reset
+	off     []int32
 	visited []bool // per-vertex
 	cur     int
 	// scratch buffer for the unvisited-neighbour sample, reused across
@@ -33,8 +33,8 @@ var _ Process = (*VProcess)(nil)
 
 // NewVProcess returns an unvisited-vertex-preferring walk starting at
 // start.
-func NewVProcess(g *graph.Graph, r *rand.Rand, start int) *VProcess {
-	v := &VProcess{g: g, r: r, buf: make([]graph.Half, 0, g.MaxDegree())}
+func NewVProcess(g *graph.Graph, r Intner, start int) *VProcess {
+	v := &VProcess{g: g, ri: r, buf: make([]graph.Half, 0, g.MaxDegree())}
 	v.Reset(start)
 	return v
 }
@@ -50,7 +50,7 @@ func (v *VProcess) VertexVisited(u int) bool { return v.visited[u] }
 
 // Step implements Process.
 func (v *VProcess) Step() (int, int) {
-	adj := v.g.Adj(v.cur)
+	adj := v.halves[v.off[v.cur]:v.off[v.cur+1]]
 	v.buf = v.buf[:0]
 	for _, h := range adj {
 		if !v.visited[h.To] {
@@ -59,18 +59,22 @@ func (v *VProcess) Step() (int, int) {
 	}
 	var chosen graph.Half
 	if len(v.buf) > 0 {
-		chosen = v.buf[v.r.Intn(len(v.buf))]
+		chosen = v.buf[v.ri.Intn(len(v.buf))]
 	} else {
-		chosen = adj[v.r.Intn(len(adj))]
+		chosen = adj[v.ri.Intn(len(adj))]
 	}
 	v.cur = chosen.To
 	v.visited[v.cur] = true
 	return chosen.ID, v.cur
 }
 
-// Reset implements Process.
+// Reset implements Process. It reuses the visited bitmap (no
+// allocation after the first Reset) and rebinds to the graph's current
+// CSR arrays.
 func (v *VProcess) Reset(start int) {
 	v.cur = start
-	v.visited = make([]bool, v.g.N())
+	v.halves = v.g.Halves()
+	v.off = v.g.Offsets()
+	v.visited = reuse(v.visited, v.g.N())
 	v.visited[start] = true
 }
