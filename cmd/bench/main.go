@@ -13,10 +13,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -46,6 +48,25 @@ type CoverResult struct {
 	WallSecondsTotal float64 `json:"wall_seconds_total"`
 }
 
+// SweepResult reports the sweep-level benchmark: the same multi-point,
+// multi-arm workload run in the BENCH_1-era shape (every arm as its own
+// serial batch, regenerating its graph) and as one SweepPlan (points ×
+// trials on the worker pool, one frozen graph per trial shared by all
+// arms). The speedup combines graph-reuse (visible even on one core,
+// since generation dominates short covers) with point-parallelism
+// (visible on multicore).
+type SweepResult struct {
+	Points          int     `json:"points"`
+	ArmsPerPoint    int     `json:"arms_per_point"`
+	TrialsPerPoint  int     `json:"trials_per_point"`
+	N               int     `json:"n"`
+	Degree          int     `json:"degree"`
+	Workers         int     `json:"workers"`
+	BaselineSeconds float64 `json:"baseline_seconds"`
+	SweepSeconds    float64 `json:"sweep_seconds"`
+	Speedup         float64 `json:"speedup"`
+}
+
 // Report is the top-level JSON document.
 type Report struct {
 	GoVersion  string        `json:"go_version"`
@@ -54,6 +75,7 @@ type Report struct {
 	NumCPU     int           `json:"num_cpu"`
 	Benchmarks []BenchResult `json:"benchmarks"`
 	Cover      CoverResult   `json:"cover"`
+	Sweep      SweepResult   `json:"sweep"`
 }
 
 func run(name string, f func(b *testing.B)) BenchResult {
@@ -65,6 +87,102 @@ func run(name string, f func(b *testing.B)) BenchResult {
 		BytesPerOp:  r.AllocedBytesPerOp(),
 		AllocsPerOp: r.AllocsPerOp(),
 	}
+}
+
+// benchArms are the processes compared per point in the sweep
+// benchmark, mirroring the multi-arm compare/ablation experiments.
+func benchArms() []sim.Arm {
+	return []sim.Arm{
+		sim.VertexArm("eprocess", func(g *graph.Graph, r *rng.Rand, start int) walk.Process {
+			return walk.NewEProcess(g, r, nil, start)
+		}),
+		sim.VertexArm("rwc(2)", func(g *graph.Graph, r *rng.Rand, start int) walk.Process {
+			return walk.NewChoice(g, r, 2, start)
+		}),
+		sim.VertexArm("vprocess", func(g *graph.Graph, r *rng.Rand, start int) walk.Process {
+			return walk.NewVProcess(g, r, start)
+		}),
+	}
+}
+
+// sweepPlan builds the multi-point multi-arm benchmark sweep. If
+// shared is true the arms of a point share one frozen graph per trial
+// (the SweepPlan design); otherwise every arm becomes its own
+// single-arm point that regenerates the graph — the shape every
+// comparison experiment had before the sweep runner existed.
+func sweepPlan(points, n, d, trials, workers int, shared bool) *sim.SweepPlan {
+	plan := &sim.SweepPlan{Config: sim.Config{Seed: 1, Trials: trials, Workers: workers}}
+	gf := func(r *rand.Rand) (*graph.Graph, error) { return gen.RandomRegularSW(r, n, d) }
+	for p := 0; p < points; p++ {
+		if shared {
+			plan.Points = append(plan.Points, sim.PointSpec{
+				Key:   fmt.Sprintf("bench point %d", p),
+				Salt:  sim.Salt(uint64(p)),
+				Graph: gf,
+				Arms:  benchArms(),
+			})
+			continue
+		}
+		for ai, arm := range benchArms() {
+			plan.Points = append(plan.Points, sim.PointSpec{
+				Key:   fmt.Sprintf("bench point %d arm %d", p, ai),
+				Salt:  sim.Salt(uint64(p), uint64(ai)),
+				Graph: gf,
+				Arms:  []sim.Arm{arm},
+			})
+		}
+	}
+	return plan
+}
+
+// benchSweep times the same workload in the BENCH_1-era shape and as
+// one point-parallel, graph-reusing sweep, reporting the best of three
+// runs each. The baseline is a faithful emulation of the old runner:
+// each (point, arm) batch regenerates its graph and runs as its own
+// serial step, with only its trials parallelised across the worker
+// pool — exactly what every experiment did before SweepPlan. Both
+// sides get NumCPU workers, so the reported speedup isolates what the
+// sweep design adds (graph reuse + cross-point parallelism) rather
+// than re-crediting trial parallelism the old code already had.
+func benchSweep(points, n, d, trials int) SweepResult {
+	workers := runtime.NumCPU()
+	res := SweepResult{
+		Points:         points,
+		ArmsPerPoint:   len(benchArms()),
+		TrialsPerPoint: trials,
+		N:              n,
+		Degree:         d,
+		Workers:        workers,
+	}
+	best := func(run func()) float64 {
+		b := math.Inf(1)
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			run()
+			if s := time.Since(start).Seconds(); s < b {
+				b = s
+			}
+		}
+		return b
+	}
+	res.BaselineSeconds = best(func() {
+		// One single-arm plan per (point, arm), run back to back: batch
+		// boundaries are serial, trials within a batch are parallel.
+		full := sweepPlan(points, n, d, trials, workers, false)
+		for i := range full.Points {
+			batch := &sim.SweepPlan{Config: full.Config, Points: full.Points[i : i+1]}
+			if _, err := batch.Run(); err != nil {
+				panic(err)
+			}
+		}
+	})
+	res.SweepSeconds = best(func() {
+		if _, err := sweepPlan(points, n, d, trials, workers, true).Run(); err != nil {
+			panic(err)
+		}
+	})
+	res.Speedup = res.BaselineSeconds / res.SweepSeconds
+	return res
 }
 
 func mustRegular(n, d int, seed int64) *graph.Graph {
@@ -81,6 +199,8 @@ func main() {
 	d := flag.Int("d", 4, "degree for benchmark graphs")
 	coverN := flag.Int("cover-n", 5000, "vertices for the cover benchmark")
 	trials := flag.Int("trials", 5, "trials for the cover metric")
+	sweepPoints := flag.Int("sweep-points", 8, "points in the sweep benchmark")
+	sweepN := flag.Int("sweep-n", 2000, "vertices per point in the sweep benchmark")
 	flag.Parse()
 
 	stepGraph := mustRegular(*n, *d, 1)
@@ -164,6 +284,7 @@ func main() {
 		}
 	})
 	report.Cover.WallSecondsTotal = coverBench.T.Seconds() / float64(coverBench.N)
+	report.Sweep = benchSweep(*sweepPoints, *sweepN, *d, *trials)
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -182,4 +303,8 @@ func main() {
 	fmt.Printf("  cover n=%d d=%d: %.0f vertex steps (%.2f·n), %.0f edge steps\n",
 		report.Cover.N, report.Cover.Degree, report.Cover.MeanVertexSteps,
 		report.Cover.VertexStepsPerN, report.Cover.MeanEdgeSteps)
+	fmt.Printf("  sweep %d points × %d arms × %d trials (n=%d d=%d): per-arm-serial %.3fs, shared-graph ×%d workers %.3fs (%.2fx)\n",
+		report.Sweep.Points, report.Sweep.ArmsPerPoint, report.Sweep.TrialsPerPoint,
+		report.Sweep.N, report.Sweep.Degree, report.Sweep.BaselineSeconds,
+		report.Sweep.Workers, report.Sweep.SweepSeconds, report.Sweep.Speedup)
 }

@@ -5,6 +5,19 @@
 //	sweep -exp all                  # every experiment, CI scale
 //	sweep -exp thm1,radzik -scale 4 # selected experiments, larger n
 //	sweep -list                     # list experiment names
+//
+// Within one process, every experiment is a point-level sweep: all
+// (point, trial) units share one worker pool (-workers), and results
+// are byte-identical for any worker count because every seed is a pure
+// function of -seed (see the seed-derivation contract in internal/sim).
+// That same property makes sharding across processes safe: -shard i/m
+// runs the i-th of m contiguous blocks of the selected experiments, so
+// a large sweep can be split over machines; every table a shard prints
+// is byte-identical to the same table in the unsharded run, and the
+// shards together cover exactly the selected set, in order:
+//
+//	sweep -exp all -scale 16 -shard 0/4   # machine 0 of 4
+//	sweep -exp all -scale 16 -shard 1/4   # machine 1 of 4 ...
 package main
 
 import (
@@ -12,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/sim"
@@ -114,6 +128,36 @@ func main() {
 	}
 }
 
+// parseShard parses "i/m" with 0 ≤ i < m, rejecting trailing garbage
+// (a silently misparsed shard spec would leave part of a multi-machine
+// sweep unrun).
+func parseShard(s string) (idx, count int, err error) {
+	is, ms, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad -shard %q (want 'i/m')", s)
+	}
+	if idx, err = strconv.Atoi(is); err != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q: %w", s, err)
+	}
+	if count, err = strconv.Atoi(ms); err != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q: %w", s, err)
+	}
+	if count < 1 || idx < 0 || idx >= count {
+		return 0, 0, fmt.Errorf("bad -shard %q: need 0 <= i < m", s)
+	}
+	return idx, count, nil
+}
+
+// shardSelect returns the idx-th of count contiguous blocks of exps.
+// Blocks preserve order and partition the input: concatenating the
+// outputs of shards 0..count-1 yields the experiments of the unsharded
+// run in the unsharded order.
+func shardSelect(exps []experiment, idx, count int) []experiment {
+	lo := idx * len(exps) / count
+	hi := (idx + 1) * len(exps) / count
+	return exps[lo:hi]
+}
+
 func run() error {
 	var (
 		expList = flag.String("exp", "all", "comma-separated experiment names, or 'all'")
@@ -121,6 +165,7 @@ func run() error {
 		trials  = flag.Int("trials", 5, "trials per point")
 		seed    = flag.Uint64("seed", 2012, "master seed")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		shard   = flag.String("shard", "", "run shard i of m selected experiments, as 'i/m' (for multi-process sweeps)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -154,6 +199,13 @@ func run() error {
 			}
 			selected = append(selected, e)
 		}
+	}
+	if *shard != "" {
+		idx, count, err := parseShard(*shard)
+		if err != nil {
+			return err
+		}
+		selected = shardSelect(selected, idx, count)
 	}
 
 	cfg := sim.ExpConfig{Seed: *seed, Trials: *trials, Scale: *scale, Workers: *workers}

@@ -45,3 +45,38 @@ func TestEveryExperimentRunsTiny(t *testing.T) {
 		}
 	}
 }
+
+func TestParseShard(t *testing.T) {
+	idx, count, err := parseShard("1/4")
+	if err != nil || idx != 1 || count != 4 {
+		t.Fatalf("parseShard(1/4) = %d, %d, %v", idx, count, err)
+	}
+	for _, bad := range []string{"", "x", "4/4", "-1/4", "1/0", "2/1", "1/4x", "1/4/2", " 1/4", "1/ 4"} {
+		if _, _, err := parseShard(bad); err == nil {
+			t.Errorf("parseShard(%q) accepted", bad)
+		}
+	}
+}
+
+// shardSelect must partition the selected experiments into in-order
+// contiguous blocks: concatenating all shards reproduces the unsharded
+// selection exactly, for any shard count (including m > len).
+func TestShardsPartitionExperiments(t *testing.T) {
+	all := experiments()
+	for _, m := range []int{1, 2, 3, len(all), len(all) + 5} {
+		var concat []string
+		for i := 0; i < m; i++ {
+			for _, e := range shardSelect(all, i, m) {
+				concat = append(concat, e.name)
+			}
+		}
+		if len(concat) != len(all) {
+			t.Fatalf("m=%d: shards cover %d experiments, want %d", m, len(concat), len(all))
+		}
+		for j, e := range all {
+			if concat[j] != e.name {
+				t.Fatalf("m=%d: concatenated shard order differs at %d: %q vs %q", m, j, concat[j], e.name)
+			}
+		}
+	}
+}

@@ -217,3 +217,21 @@ func BenchmarkSplitMixUint64(b *testing.B) {
 		_ = s.Uint64()
 	}
 }
+
+// Derived 64-bit seeds differing only in the high word must not
+// collapse to the same MT19937 stream (the plain MT seed is 32-bit;
+// NewSource must inject both words).
+func TestNewSourceMTUsesAllSeedBits(t *testing.T) {
+	lo := NewSource(KindMT19937, 0xdeadbeef)
+	hi := NewSource(KindMT19937, 0xdeadbeef|1<<32)
+	same := true
+	for i := 0; i < 16; i++ {
+		if lo.Uint64() != hi.Uint64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("high seed word ignored: identical MT19937 streams")
+	}
+}

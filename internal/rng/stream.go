@@ -39,14 +39,27 @@ func (st *Stream) Next() rand.Source64 {
 // Source, exposing the fast bounded-int path alongside math/rand
 // interop.
 func (st *Stream) NextSource() Source {
-	s := st.seq.Uint64()
-	switch st.kind {
+	return NewSource(st.kind, st.seq.Uint64())
+}
+
+// NewSource returns a concrete generator of the given kind seeded
+// directly with seed. Callers that derive their own seeds (e.g. the
+// simulation harness's deriveSeed) use this to build a generator per
+// derived seed; Kind zero values fall back to xoshiro256**.
+func NewSource(kind Kind, seed uint64) Source {
+	switch kind {
 	case KindMT19937:
-		return NewMT19937(uint32(s))
+		// MT19937's plain seeding is 32-bit; inject both words through
+		// init_by_array so distinct 64-bit derived seeds yield distinct
+		// key material rather than folding (and possibly colliding) in
+		// a 32-bit space.
+		m := NewMT19937(0)
+		m.SeedBySlice([]uint32{uint32(seed), uint32(seed >> 32)})
+		return m
 	case KindSplitMix:
-		return NewSplitMix64(s)
+		return NewSplitMix64(seed)
 	default:
-		return NewXoshiro256(s)
+		return NewXoshiro256(seed)
 	}
 }
 

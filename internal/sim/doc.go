@@ -1,12 +1,36 @@
 // Package sim is the experiment harness: it runs seeded, reproducible,
-// optionally parallel trials of any walk process over any graph family,
-// aggregates the results, and renders the tables and series that
-// regenerate the paper's Figure 1 and the quantitative claims indexed
-// in DESIGN.md.
+// parallel sweeps of walk processes over graph families, aggregates the
+// results, and renders the tables and series that regenerate the
+// paper's Figure 1 and the quantitative claims indexed in DESIGN.md.
 //
-// Reproducibility contract: every experiment is driven by a single
-// master seed. Trial i of any experiment receives the i-th generator of
-// an rng.Stream derived from that seed, so results are identical
-// regardless of how many workers execute the trials or how the
-// scheduler interleaves them.
+// # Sweep model
+//
+// An experiment is a SweepPlan: a set of PointSpecs (one per graph
+// family cell, e.g. one (n, d) value) each carrying one or more Arms
+// (the processes compared on that cell). The scheduling unit is a
+// (point, trial) pair fanned out over one shared worker pool, so points
+// run concurrently with each other as well as with their own trials.
+// Each unit generates its graph once, freezes it into the CSR layout,
+// and hands the same read-only instance to every arm in turn — compared
+// processes always see identical instances and generation cost is paid
+// once per trial, not once per arm. Trial 0's frozen graph outlives the
+// sweep as PointResult.Rep, the representative instance used for
+// structural post-processing (spectral gaps, girth, ℓ-bounds).
+//
+// # Seed-derivation contract
+//
+// Every random quantity is a pure function of the master seed. All
+// generator seeds are derived through the single audited function
+//
+//	deriveSeed(master, pointSalt, trial)
+//
+// where point salts are built with Salt from a per-experiment namespace
+// constant plus the point's coordinates, and the graph stream and each
+// arm occupy distinct salt slots. Call sites must never hand-mix seeds
+// with ^/<</| expressions — an operator-precedence bug in exactly such
+// an expression once made distinct experiment points share seeds. The
+// regression test in sweep_test.go asserts that every seed derived
+// across every experiment's plan is pairwise distinct, and results are
+// byte-identical regardless of the Workers setting or scheduler
+// interleaving.
 package sim

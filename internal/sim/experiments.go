@@ -34,8 +34,33 @@ func (c ExpConfig) withDefaults() ExpConfig {
 	return c
 }
 
-func (c ExpConfig) runCfg(seedSalt uint64) Config {
-	return Config{Seed: c.Seed ^ seedSalt, Trials: c.Trials, Workers: c.Workers}
+// config maps the experiment knobs onto the sweep runner's Config. All
+// seed derivation happens inside the SweepPlan via deriveSeed; the
+// experiments only contribute point salts built with Salt.
+func (c ExpConfig) config() Config {
+	return Config{Seed: c.Seed, Trials: c.Trials, Workers: c.Workers}
+}
+
+func eprocessArmV(name string, rule walk.Rule) Arm {
+	return VertexArm(name, func(g *graph.Graph, r *rng.Rand, start int) walk.Process {
+		return walk.NewEProcess(g, r, rule, start)
+	})
+}
+
+func eprocessArm(name string) Arm {
+	return CoverArm(name, func(g *graph.Graph, r *rng.Rand, start int) walk.Process {
+		return walk.NewEProcess(g, r, nil, start)
+	})
+}
+
+func srwArmV(name string) Arm {
+	return VertexArm(name, func(g *graph.Graph, r *rng.Rand, start int) walk.Process {
+		return walk.NewSimple(g, r, start)
+	})
+}
+
+func regularPointGraph(n, deg int) GraphFactory {
+	return func(r *rand.Rand) (*graph.Graph, error) { return gen.RandomRegularSW(r, n, deg) }
 }
 
 // --- THM1: Theorem 1 vertex cover on even-degree expanders ---------------
@@ -52,58 +77,71 @@ type Theorem1Row struct {
 	Ratio      float64 // measured / bound — must stay O(1) as n grows
 }
 
+func theorem1Plan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]Theorem1Row, *Table, error)) {
+	deg := 4
+	base := []int{200, 400, 800}
+	plan := &SweepPlan{Config: cfg.config()}
+	var ns []int
+	for _, b := range base {
+		n := b * cfg.Scale
+		ns = append(ns, n)
+		plan.Points = append(plan.Points, PointSpec{
+			Key:   fmt.Sprintf("thm1 n=%d", n),
+			Salt:  Salt(saltTHM1, uint64(n)),
+			Graph: regularPointGraph(n, deg),
+			Arms:  []Arm{eprocessArmV("eprocess", walk.Uniform{})},
+		})
+	}
+	finish := func(points []PointResult) ([]Theorem1Row, *Table, error) {
+		var rows []Theorem1Row
+		for i, pt := range points {
+			n := ns[i]
+			// Spectral gap and ℓ on the representative instance: the
+			// literal trial-0 frozen graph the measurements ran on.
+			g := pt.Rep
+			gap, err := spectral.ComputeGap(g, spectral.Options{Tol: 1e-8})
+			if err != nil {
+				return nil, nil, err
+			}
+			lazy := spectral.LazyGap(gap)
+			horizon := int(math.Log(float64(n))) + 2
+			lres, err := core.LGoodGraph(g, horizon)
+			if err != nil {
+				return nil, nil, err
+			}
+			res := pt.Arms[0]
+			row := Theorem1Row{
+				N:          n,
+				Degree:     deg,
+				Measured:   res.VertexStats.Mean,
+				Normalized: res.VertexStats.Mean / float64(n),
+				EllBound:   lres.Ell,
+				Gap:        lazy.Value,
+				Bound:      core.Theorem1Bound(n, float64(lres.Ell), lazy.Value),
+			}
+			row.Ratio = row.Measured / row.Bound
+			rows = append(rows, row)
+		}
+		t := NewTable("THM1: E-process vertex cover vs Theorem 1 bound (4-regular)",
+			"n", "C_V(E)", "C_V/n", "ell>=", "gap", "bound", "measured/bound")
+		for _, r := range rows {
+			t.AddRow(r.N, r.Measured, r.Normalized, r.EllBound, r.Gap, r.Bound, r.Ratio)
+		}
+		return rows, t, nil
+	}
+	return plan, finish
+}
+
 // ExpTheorem1 measures the E-process vertex cover time on random
 // even-degree regular graphs against the Theorem 1 bound
 // O(n + n log n / (ℓ(1−λmax))).
 func ExpTheorem1(cfg ExpConfig) ([]Theorem1Row, *Table, error) {
-	cfg = cfg.withDefaults()
-	deg := 4
-	base := []int{200, 400, 800}
-	var rows []Theorem1Row
-	for _, b := range base {
-		n := b * cfg.Scale
-		res, err := RunVertexOnly(cfg.runCfg(uint64(n)),
-			func(r *rand.Rand) (*graph.Graph, error) { return gen.RandomRegularSW(r, n, deg) },
-			func(g *graph.Graph, r *rng.Rand, start int) walk.Process {
-				return walk.NewEProcess(g, r, walk.Uniform{}, start)
-			})
-		if err != nil {
-			return nil, nil, err
-		}
-		// Spectral gap and ℓ on a representative instance (same seed
-		// stream ⇒ same first graph as trial 0).
-		g, err := gen.RandomRegularSW(rand.New(rng.NewStream(rng.KindXoshiro, cfg.Seed^uint64(n)).Next()), n, deg)
-		if err != nil {
-			return nil, nil, err
-		}
-		gap, err := spectral.ComputeGap(g, spectral.Options{Tol: 1e-8})
-		if err != nil {
-			return nil, nil, err
-		}
-		lazy := spectral.LazyGap(gap)
-		horizon := int(math.Log(float64(n))) + 2
-		lres, err := core.LGoodGraph(g, horizon)
-		if err != nil {
-			return nil, nil, err
-		}
-		row := Theorem1Row{
-			N:          n,
-			Degree:     deg,
-			Measured:   res.VertexStats.Mean,
-			Normalized: res.VertexStats.Mean / float64(n),
-			EllBound:   lres.Ell,
-			Gap:        lazy.Value,
-			Bound:      core.Theorem1Bound(n, float64(lres.Ell), lazy.Value),
-		}
-		row.Ratio = row.Measured / row.Bound
-		rows = append(rows, row)
+	plan, finish := theorem1Plan(cfg.withDefaults())
+	points, err := plan.Run()
+	if err != nil {
+		return nil, nil, err
 	}
-	t := NewTable("THM1: E-process vertex cover vs Theorem 1 bound (4-regular)",
-		"n", "C_V(E)", "C_V/n", "ell>=", "gap", "bound", "measured/bound")
-	for _, r := range rows {
-		t.AddRow(r.N, r.Measured, r.Normalized, r.EllBound, r.Gap, r.Bound, r.Ratio)
-	}
-	return rows, t, nil
+	return finish(points)
 }
 
 // --- RADZIK: lower bound + speedup ---------------------------------------
@@ -118,42 +156,56 @@ type SpeedupRow struct {
 	FeigeLB  float64 // n·ln n
 }
 
+func radzikPlan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]SpeedupRow, *Table, error)) {
+	deg := 4
+	base := []int{200, 400, 800}
+	plan := &SweepPlan{Config: cfg.config()}
+	var ns []int
+	for _, b := range base {
+		n := b * cfg.Scale
+		ns = append(ns, n)
+		plan.Points = append(plan.Points, PointSpec{
+			Key:   fmt.Sprintf("radzik n=%d", n),
+			Salt:  Salt(saltRADZIK, uint64(n)),
+			Graph: regularPointGraph(n, deg),
+			// Both processes run on the same frozen instances.
+			Arms: []Arm{srwArmV("srw"), eprocessArmV("eprocess", nil)},
+		})
+	}
+	finish := func(points []PointResult) ([]SpeedupRow, *Table, error) {
+		var rows []SpeedupRow
+		for i, pt := range points {
+			n := ns[i]
+			srw, ep := pt.Arms[0], pt.Arms[1]
+			rows = append(rows, SpeedupRow{
+				N:        n,
+				SRW:      srw.VertexStats.Mean,
+				EProcess: ep.VertexStats.Mean,
+				Speedup:  core.SpeedupRatio(srw.VertexStats.Mean, ep.VertexStats.Mean),
+				RadzikLB: core.RadzikLowerBound(n),
+				FeigeLB:  core.FeigeLowerBound(n),
+			})
+		}
+		t := NewTable("RADZIK: SRW vs E-process vertex cover (4-regular)",
+			"n", "C_V(SRW)", "C_V(E)", "speedup", "(n/4)log(n/2)", "n ln n")
+		for _, r := range rows {
+			t.AddRow(r.N, r.SRW, r.EProcess, r.Speedup, r.RadzikLB, r.FeigeLB)
+		}
+		return rows, t, nil
+	}
+	return plan, finish
+}
+
 // ExpRadzikSpeedup measures the SRW-vs-E-process speedup on random
 // 4-regular graphs and checks both against Radzik's and Feige's lower
 // bounds (which constrain the SRW but not the E-process).
 func ExpRadzikSpeedup(cfg ExpConfig) ([]SpeedupRow, *Table, error) {
-	cfg = cfg.withDefaults()
-	deg := 4
-	base := []int{200, 400, 800}
-	var rows []SpeedupRow
-	for _, b := range base {
-		n := b * cfg.Scale
-		gf := func(r *rand.Rand) (*graph.Graph, error) { return gen.RandomRegularSW(r, n, deg) }
-		srw, err := RunVertexOnly(cfg.runCfg(uint64(n)), gf,
-			func(g *graph.Graph, r *rng.Rand, start int) walk.Process { return walk.NewSimple(g, r, start) })
-		if err != nil {
-			return nil, nil, err
-		}
-		ep, err := RunVertexOnly(cfg.runCfg(uint64(n)), gf,
-			func(g *graph.Graph, r *rng.Rand, start int) walk.Process { return walk.NewEProcess(g, r, nil, start) })
-		if err != nil {
-			return nil, nil, err
-		}
-		rows = append(rows, SpeedupRow{
-			N:        n,
-			SRW:      srw.VertexStats.Mean,
-			EProcess: ep.VertexStats.Mean,
-			Speedup:  core.SpeedupRatio(srw.VertexStats.Mean, ep.VertexStats.Mean),
-			RadzikLB: core.RadzikLowerBound(n),
-			FeigeLB:  core.FeigeLowerBound(n),
-		})
+	plan, finish := radzikPlan(cfg.withDefaults())
+	points, err := plan.Run()
+	if err != nil {
+		return nil, nil, err
 	}
-	t := NewTable("RADZIK: SRW vs E-process vertex cover (4-regular)",
-		"n", "C_V(SRW)", "C_V(E)", "speedup", "(n/4)log(n/2)", "n ln n")
-	for _, r := range rows {
-		t.AddRow(r.N, r.SRW, r.EProcess, r.Speedup, r.RadzikLB, r.FeigeLB)
-	}
-	return rows, t, nil
+	return finish(points)
 }
 
 // --- COR2: Θ(n) linearity for r ≥ 4 even ---------------------------------
@@ -167,48 +219,67 @@ type Corollary2Result struct {
 	Verdict string
 }
 
-// ExpCorollary2 sweeps n for even degrees and classifies the E-process
-// vertex cover growth; Corollary 2 predicts "linear".
-func ExpCorollary2(cfg ExpConfig) ([]Corollary2Result, *Table, error) {
-	cfg = cfg.withDefaults()
+func corollary2Plan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]Corollary2Result, *Table, error)) {
 	base := []int{200, 400, 800, 1600}
-	var out []Corollary2Result
-	t := NewTable("COR2: E-process vertex cover growth on r-regular graphs (r even)",
-		"degree", "n", "C_V(E)", "C_V/n", "verdict")
-	for _, deg := range []int{4, 6} {
-		res := Corollary2Result{Degree: deg}
-		var ns, ys []float64
+	degs := []int{4, 6}
+	plan := &SweepPlan{Config: cfg.config()}
+	for _, deg := range degs {
 		for _, b := range base {
 			n := b * cfg.Scale
-			r, err := RunVertexOnly(cfg.runCfg(uint64(deg)<<40^uint64(n)),
-				func(rr *rand.Rand) (*graph.Graph, error) { return gen.RandomRegularSW(rr, n, deg) },
-				func(g *graph.Graph, rr *rng.Rand, start int) walk.Process {
-					return walk.NewEProcess(g, rr, nil, start)
-				})
+			plan.Points = append(plan.Points, PointSpec{
+				Key:   fmt.Sprintf("cor2 d=%d n=%d", deg, n),
+				Salt:  Salt(saltCOR2, uint64(deg), uint64(n)),
+				Graph: regularPointGraph(n, deg),
+				Arms:  []Arm{eprocessArmV("eprocess", nil)},
+			})
+		}
+	}
+	finish := func(points []PointResult) ([]Corollary2Result, *Table, error) {
+		var out []Corollary2Result
+		t := NewTable("COR2: E-process vertex cover growth on r-regular graphs (r even)",
+			"degree", "n", "C_V(E)", "C_V/n", "verdict")
+		pi := 0
+		for _, deg := range degs {
+			res := Corollary2Result{Degree: deg}
+			var ns, ys []float64
+			for _, b := range base {
+				n := b * cfg.Scale
+				mean := points[pi].Arms[0].VertexStats.Mean
+				pi++
+				res.Ns = append(res.Ns, n)
+				res.Means = append(res.Means, mean)
+				ns = append(ns, float64(n))
+				ys = append(ys, mean)
+			}
+			growth, err := stats.ClassifyGrowth(ns, ys)
 			if err != nil {
 				return nil, nil, err
 			}
-			res.Ns = append(res.Ns, n)
-			res.Means = append(res.Means, r.VertexStats.Mean)
-			ns = append(ns, float64(n))
-			ys = append(ys, r.VertexStats.Mean)
-		}
-		growth, err := stats.ClassifyGrowth(ns, ys)
-		if err != nil {
-			return nil, nil, err
-		}
-		res.Growth = growth
-		res.Verdict = growth.Verdict
-		for i := range res.Ns {
-			verdict := ""
-			if i == len(res.Ns)-1 {
-				verdict = res.Verdict
+			res.Growth = growth
+			res.Verdict = growth.Verdict
+			for i := range res.Ns {
+				verdict := ""
+				if i == len(res.Ns)-1 {
+					verdict = res.Verdict
+				}
+				t.AddRow(deg, res.Ns[i], res.Means[i], res.Means[i]/float64(res.Ns[i]), verdict)
 			}
-			t.AddRow(deg, res.Ns[i], res.Means[i], res.Means[i]/float64(res.Ns[i]), verdict)
+			out = append(out, res)
 		}
-		out = append(out, res)
+		return out, t, nil
 	}
-	return out, t, nil
+	return plan, finish
+}
+
+// ExpCorollary2 sweeps n for even degrees and classifies the E-process
+// vertex cover growth; Corollary 2 predicts "linear".
+func ExpCorollary2(cfg ExpConfig) ([]Corollary2Result, *Table, error) {
+	plan, finish := corollary2Plan(cfg.withDefaults())
+	points, err := plan.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	return finish(points)
 }
 
 // --- EQ3: edge cover sandwich ---------------------------------------------
@@ -222,44 +293,57 @@ type SandwichRow struct {
 	Holds     bool
 }
 
+func edgeSandwichPlan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]SandwichRow, *Table, error)) {
+	base := []int{200, 400, 800}
+	deg := 4
+	plan := &SweepPlan{Config: cfg.config()}
+	var ns []int
+	for _, b := range base {
+		n := b * cfg.Scale
+		ns = append(ns, n)
+		plan.Points = append(plan.Points, PointSpec{
+			Key:   fmt.Sprintf("eq3 n=%d", n),
+			Salt:  Salt(saltEQ3, uint64(n)),
+			Graph: regularPointGraph(n, deg),
+			Arms:  []Arm{eprocessArm("eprocess"), srwArmV("srw")},
+		})
+	}
+	finish := func(points []PointResult) ([]SandwichRow, *Table, error) {
+		var rows []SandwichRow
+		for i, pt := range points {
+			n := ns[i]
+			m := n * deg / 2
+			ep, srw := pt.Arms[0], pt.Arms[1]
+			lo, hi := core.EdgeCoverSandwich(m, srw.VertexStats.Mean)
+			rows = append(rows, SandwichRow{
+				N: n, M: m,
+				EdgeCover: ep.EdgeStats.Mean,
+				SRWCover:  srw.VertexStats.Mean,
+				Lo:        lo, Hi: hi,
+				// The sandwich is exact per trajectory; on means allow the
+				// Monte-Carlo noise of the independent SRW estimate.
+				Holds: ep.EdgeStats.Mean >= lo && ep.EdgeStats.Mean <= hi*1.25,
+			})
+		}
+		t := NewTable("EQ3: m <= C_E(E-process) <= m + C_V(SRW) (4-regular)",
+			"n", "m", "C_E(E)", "C_V(SRW)", "lower", "upper", "holds")
+		for _, r := range rows {
+			t.AddRow(r.N, r.M, r.EdgeCover, r.SRWCover, r.Lo, r.Hi, r.Holds)
+		}
+		return rows, t, nil
+	}
+	return plan, finish
+}
+
 // ExpEdgeSandwich measures the eq. (3) sandwich on random 4-regular
 // graphs.
 func ExpEdgeSandwich(cfg ExpConfig) ([]SandwichRow, *Table, error) {
-	cfg = cfg.withDefaults()
-	base := []int{200, 400, 800}
-	deg := 4
-	var rows []SandwichRow
-	for _, b := range base {
-		n := b * cfg.Scale
-		m := n * deg / 2
-		gf := func(r *rand.Rand) (*graph.Graph, error) { return gen.RandomRegularSW(r, n, deg) }
-		ep, err := Run(cfg.runCfg(uint64(n)), gf,
-			func(g *graph.Graph, r *rng.Rand, start int) walk.Process { return walk.NewEProcess(g, r, nil, start) })
-		if err != nil {
-			return nil, nil, err
-		}
-		srw, err := RunVertexOnly(cfg.runCfg(uint64(n)), gf,
-			func(g *graph.Graph, r *rng.Rand, start int) walk.Process { return walk.NewSimple(g, r, start) })
-		if err != nil {
-			return nil, nil, err
-		}
-		lo, hi := core.EdgeCoverSandwich(m, srw.VertexStats.Mean)
-		rows = append(rows, SandwichRow{
-			N: n, M: m,
-			EdgeCover: ep.EdgeStats.Mean,
-			SRWCover:  srw.VertexStats.Mean,
-			Lo:        lo, Hi: hi,
-			// The sandwich is exact per trajectory; on means allow the
-			// Monte-Carlo noise of the independent SRW estimate.
-			Holds: ep.EdgeStats.Mean >= lo && ep.EdgeStats.Mean <= hi*1.25,
-		})
+	plan, finish := edgeSandwichPlan(cfg.withDefaults())
+	points, err := plan.Run()
+	if err != nil {
+		return nil, nil, err
 	}
-	t := NewTable("EQ3: m <= C_E(E-process) <= m + C_V(SRW) (4-regular)",
-		"n", "m", "C_E(E)", "C_V(SRW)", "lower", "upper", "holds")
-	for _, r := range rows {
-		t.AddRow(r.N, r.M, r.EdgeCover, r.SRWCover, r.Lo, r.Hi, r.Holds)
-	}
-	return rows, t, nil
+	return finish(points)
 }
 
 // --- THM3/COR4: edge cover on girth-parameterised families ---------------
@@ -275,14 +359,10 @@ type EdgeCoverRow struct {
 	Ratio    float64
 }
 
-// ExpTheorem3 measures E-process edge cover against the Theorem 3 bound
-// on even-degree families with different girths: circulants (girth 4),
-// a Margulis expander (girth 3–4), and random 4-regular graphs.
-func ExpTheorem3(cfg ExpConfig) ([]EdgeCoverRow, *Table, error) {
-	cfg = cfg.withDefaults()
+func theorem3Plan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]EdgeCoverRow, *Table, error)) {
 	type family struct {
 		name  string
-		build func(r *rand.Rand) (*graph.Graph, error)
+		build GraphFactory
 	}
 	n := 400 * cfg.Scale
 	k := int(math.Sqrt(float64(n)))
@@ -293,46 +373,63 @@ func ExpTheorem3(cfg ExpConfig) ([]EdgeCoverRow, *Table, error) {
 		// (any two offsets still close a 4-cycle via +1,+k,−1,−k) and
 		// improves the gap over C_n(1,2).
 		{fmt.Sprintf("circulant(n;1,%d)", k), func(r *rand.Rand) (*graph.Graph, error) { return gen.Circulant(n, []int{1, k}) }},
-		{"random-4-regular", func(r *rand.Rand) (*graph.Graph, error) { return gen.RandomRegularSW(r, n, 4) }},
+		{"random-4-regular", regularPointGraph(n, 4)},
 		// The paper's citation [11]: an actual Ramanujan graph —
 		// 6-regular, girth ≥ 2·log_5 q, optimal spectral gap.
 		{"lps(5,13)", func(r *rand.Rand) (*graph.Graph, error) { return gen.LPS(5, 13) }},
 	}
-	var rows []EdgeCoverRow
+	plan := &SweepPlan{Config: cfg.config()}
 	for i, fam := range families {
-		res, err := Run(cfg.runCfg(uint64(i+1)<<16), fam.build,
-			func(g *graph.Graph, r *rng.Rand, start int) walk.Process { return walk.NewEProcess(g, r, nil, start) })
-		if err != nil {
-			return nil, nil, err
-		}
-		g, err := fam.build(rand.New(rng.NewStream(rng.KindXoshiro, cfg.Seed^uint64(i+1)<<16).Next()))
-		if err != nil {
-			return nil, nil, err
-		}
-		gap, err := spectral.ComputeGap(g, spectral.Options{Tol: 1e-8})
-		if err != nil {
-			return nil, nil, err
-		}
-		lazy := spectral.LazyGap(gap)
-		girth := g.Girth()
-		row := EdgeCoverRow{
-			Family:   fam.name,
-			N:        g.N(),
-			M:        g.M(),
-			Girth:    girth,
-			Gap:      lazy.Value,
-			Measured: res.EdgeStats.Mean,
-			Bound:    core.Theorem3Bound(g.N(), g.M(), girth, g.MaxDegree(), lazy.Value),
-		}
-		row.Ratio = row.Measured / row.Bound
-		rows = append(rows, row)
+		plan.Points = append(plan.Points, PointSpec{
+			Key:   "thm3 " + fam.name,
+			Salt:  Salt(saltTHM3, uint64(i)),
+			Graph: fam.build,
+			Arms:  []Arm{eprocessArm("eprocess")},
+		})
 	}
-	t := NewTable("THM3: E-process edge cover vs Theorem 3 bound",
-		"family", "n", "m", "girth", "gap", "C_E(E)", "bound", "ratio")
-	for _, r := range rows {
-		t.AddRow(r.Family, r.N, r.M, r.Girth, r.Gap, r.Measured, r.Bound, r.Ratio)
+	finish := func(points []PointResult) ([]EdgeCoverRow, *Table, error) {
+		var rows []EdgeCoverRow
+		for i, pt := range points {
+			g := pt.Rep
+			gap, err := spectral.ComputeGap(g, spectral.Options{Tol: 1e-8})
+			if err != nil {
+				return nil, nil, err
+			}
+			lazy := spectral.LazyGap(gap)
+			girth := g.Girth()
+			res := pt.Arms[0]
+			row := EdgeCoverRow{
+				Family:   families[i].name,
+				N:        g.N(),
+				M:        g.M(),
+				Girth:    girth,
+				Gap:      lazy.Value,
+				Measured: res.EdgeStats.Mean,
+				Bound:    core.Theorem3Bound(g.N(), g.M(), girth, g.MaxDegree(), lazy.Value),
+			}
+			row.Ratio = row.Measured / row.Bound
+			rows = append(rows, row)
+		}
+		t := NewTable("THM3: E-process edge cover vs Theorem 3 bound",
+			"family", "n", "m", "girth", "gap", "C_E(E)", "bound", "ratio")
+		for _, r := range rows {
+			t.AddRow(r.Family, r.N, r.M, r.Girth, r.Gap, r.Measured, r.Bound, r.Ratio)
+		}
+		return rows, t, nil
 	}
-	return rows, t, nil
+	return plan, finish
+}
+
+// ExpTheorem3 measures E-process edge cover against the Theorem 3 bound
+// on even-degree families with different girths: circulants (girth 4),
+// a Margulis expander (girth 3–4), and random 4-regular graphs.
+func ExpTheorem3(cfg ExpConfig) ([]EdgeCoverRow, *Table, error) {
+	plan, finish := theorem3Plan(cfg.withDefaults())
+	points, err := plan.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	return finish(points)
 }
 
 // Corollary4Row is one n-point of the COR4 experiment.
@@ -344,34 +441,52 @@ type Corollary4Row struct {
 	PerNLogLog float64 // C_E / (n·log log n), a concrete slowly-growing ω
 }
 
+func corollary4Plan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]Corollary4Row, *Table, error)) {
+	base := []int{200, 400, 800, 1600}
+	plan := &SweepPlan{Config: cfg.config()}
+	var ns []int
+	for _, b := range base {
+		n := b * cfg.Scale
+		ns = append(ns, n)
+		plan.Points = append(plan.Points, PointSpec{
+			Key:   fmt.Sprintf("cor4 n=%d", n),
+			Salt:  Salt(saltCOR4, uint64(n)),
+			Graph: regularPointGraph(n, 4),
+			Arms:  []Arm{eprocessArm("eprocess")},
+		})
+	}
+	finish := func(points []PointResult) ([]Corollary4Row, *Table, error) {
+		var rows []Corollary4Row
+		for i, pt := range points {
+			n := ns[i]
+			loglog := math.Log(math.Log(float64(n)))
+			mean := pt.Arms[0].EdgeStats.Mean
+			rows = append(rows, Corollary4Row{
+				N:          n,
+				M:          2 * n,
+				Measured:   mean,
+				PerN:       mean / float64(n),
+				PerNLogLog: mean / (float64(n) * loglog),
+			})
+		}
+		t := NewTable("COR4: E-process edge cover on random 4-regular graphs",
+			"n", "m", "C_E(E)", "C_E/n", "C_E/(n·lnln n)")
+		for _, r := range rows {
+			t.AddRow(r.N, r.M, r.Measured, r.PerN, r.PerNLogLog)
+		}
+		return rows, t, nil
+	}
+	return plan, finish
+}
+
 // ExpCorollary4 sweeps n on random 4-regular graphs and reports the
 // normalised edge cover time; Corollary 4 predicts C_E = O(ω·n) for any
 // ω → ∞.
 func ExpCorollary4(cfg ExpConfig) ([]Corollary4Row, *Table, error) {
-	cfg = cfg.withDefaults()
-	base := []int{200, 400, 800, 1600}
-	var rows []Corollary4Row
-	for _, b := range base {
-		n := b * cfg.Scale
-		res, err := Run(cfg.runCfg(uint64(n)<<8),
-			func(r *rand.Rand) (*graph.Graph, error) { return gen.RandomRegularSW(r, n, 4) },
-			func(g *graph.Graph, r *rng.Rand, start int) walk.Process { return walk.NewEProcess(g, r, nil, start) })
-		if err != nil {
-			return nil, nil, err
-		}
-		loglog := math.Log(math.Log(float64(n)))
-		rows = append(rows, Corollary4Row{
-			N:          n,
-			M:          2 * n,
-			Measured:   res.EdgeStats.Mean,
-			PerN:       res.EdgeStats.Mean / float64(n),
-			PerNLogLog: res.EdgeStats.Mean / (float64(n) * loglog),
-		})
+	plan, finish := corollary4Plan(cfg.withDefaults())
+	points, err := plan.Run()
+	if err != nil {
+		return nil, nil, err
 	}
-	t := NewTable("COR4: E-process edge cover on random 4-regular graphs",
-		"n", "m", "C_E(E)", "C_E/n", "C_E/(n·lnln n)")
-	for _, r := range rows {
-		t.AddRow(r.N, r.M, r.Measured, r.PerN, r.PerNLogLog)
-	}
-	return rows, t, nil
+	return finish(points)
 }

@@ -1,9 +1,8 @@
 package sim
 
 import (
-	"math/rand"
+	"fmt"
 
-	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -22,52 +21,66 @@ type AblationRow struct {
 	EProcess float64
 }
 
-// ExpEdgeVsVertexPreference runs the ablation over odd and even degrees
-// and n values; the E-process's even-degree guarantee (Θ(n)) is the
-// differentiator the paper proves.
-func ExpEdgeVsVertexPreference(cfg ExpConfig) ([]AblationRow, *Table, error) {
-	cfg = cfg.withDefaults()
+func vprocessArmV(name string) Arm {
+	return VertexArm(name, func(g *graph.Graph, r *rng.Rand, s int) walk.Process {
+		return walk.NewVProcess(g, r, s)
+	})
+}
+
+func edgeVsVertexPlan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]AblationRow, *Table, error)) {
 	base := []int{250, 500, 1000}
-	var rows []AblationRow
-	for _, deg := range []int{3, 4} {
+	degs := []int{3, 4}
+	plan := &SweepPlan{Config: cfg.config()}
+	type cell struct{ deg, n int }
+	var cells []cell
+	for _, deg := range degs {
 		for _, b := range base {
 			n := b * cfg.Scale
 			if n*deg%2 != 0 {
 				n++
 			}
-			gf := func(r *rand.Rand) (*graph.Graph, error) { return gen.RandomRegularSW(r, n, deg) }
-			salt := uint64(deg)<<48 ^ uint64(n)
-			srw, err := RunVertexOnly(cfg.runCfg(salt), gf,
-				func(g *graph.Graph, r *rng.Rand, s int) walk.Process { return walk.NewSimple(g, r, s) })
-			if err != nil {
-				return nil, nil, err
-			}
-			vp, err := RunVertexOnly(cfg.runCfg(salt), gf,
-				func(g *graph.Graph, r *rng.Rand, s int) walk.Process { return walk.NewVProcess(g, r, s) })
-			if err != nil {
-				return nil, nil, err
-			}
-			ep, err := RunVertexOnly(cfg.runCfg(salt), gf,
-				func(g *graph.Graph, r *rng.Rand, s int) walk.Process { return walk.NewEProcess(g, r, nil, s) })
-			if err != nil {
-				return nil, nil, err
-			}
-			rows = append(rows, AblationRow{
-				Degree:   deg,
-				N:        n,
-				SRW:      srw.VertexStats.Mean,
-				VProcess: vp.VertexStats.Mean,
-				EProcess: ep.VertexStats.Mean,
+			cells = append(cells, cell{deg, n})
+			plan.Points = append(plan.Points, PointSpec{
+				Key:   fmt.Sprintf("ablation d=%d n=%d", deg, n),
+				Salt:  Salt(saltABLATION, uint64(deg), uint64(n)),
+				Graph: regularPointGraph(n, deg),
+				// All three processes run on the same frozen instances.
+				Arms: []Arm{srwArmV("srw"), vprocessArmV("vprocess"), eprocessArmV("eprocess", nil)},
 			})
 		}
 	}
-	t := NewTable("ABLATION: unvisited-edge vs unvisited-vertex preference (vertex cover)",
-		"degree", "n", "C_V(SRW)", "C_V(V-proc)", "C_V(E-proc)", "E/V", "E/SRW")
-	for _, r := range rows {
-		t.AddRow(r.Degree, r.N, r.SRW, r.VProcess, r.EProcess,
-			r.EProcess/r.VProcess, r.EProcess/r.SRW)
+	finish := func(points []PointResult) ([]AblationRow, *Table, error) {
+		var rows []AblationRow
+		for i, pt := range points {
+			rows = append(rows, AblationRow{
+				Degree:   cells[i].deg,
+				N:        cells[i].n,
+				SRW:      pt.Arms[0].VertexStats.Mean,
+				VProcess: pt.Arms[1].VertexStats.Mean,
+				EProcess: pt.Arms[2].VertexStats.Mean,
+			})
+		}
+		t := NewTable("ABLATION: unvisited-edge vs unvisited-vertex preference (vertex cover)",
+			"degree", "n", "C_V(SRW)", "C_V(V-proc)", "C_V(E-proc)", "E/V", "E/SRW")
+		for _, r := range rows {
+			t.AddRow(r.Degree, r.N, r.SRW, r.VProcess, r.EProcess,
+				r.EProcess/r.VProcess, r.EProcess/r.SRW)
+		}
+		return rows, t, nil
 	}
-	return rows, t, nil
+	return plan, finish
+}
+
+// ExpEdgeVsVertexPreference runs the ablation over odd and even degrees
+// and n values; the E-process's even-degree guarantee (Θ(n)) is the
+// differentiator the paper proves.
+func ExpEdgeVsVertexPreference(cfg ExpConfig) ([]AblationRow, *Table, error) {
+	plan, finish := edgeVsVertexPlan(cfg.withDefaults())
+	points, err := plan.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	return finish(points)
 }
 
 // GrowthByProcess classifies cover-time growth for each process on
@@ -77,49 +90,59 @@ type GrowthByProcess struct {
 	Growth  stats.Growth
 }
 
-// ExpAblationGrowth classifies the growth of the three processes on
-// 4-regular graphs over an n sweep.
-func ExpAblationGrowth(cfg ExpConfig) ([]GrowthByProcess, *Table, error) {
-	cfg = cfg.withDefaults()
+func ablationGrowthPlan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]GrowthByProcess, *Table, error)) {
 	base := []int{200, 400, 800, 1600}
-	type proc struct {
-		name string
-		pf   ProcessFactory
+	procNames := []string{"srw", "vprocess", "eprocess"}
+	plan := &SweepPlan{Config: cfg.config()}
+	var ns []int
+	for _, b := range base {
+		n := b * cfg.Scale
+		ns = append(ns, n)
+		plan.Points = append(plan.Points, PointSpec{
+			Key:   fmt.Sprintf("growth n=%d", n),
+			Salt:  Salt(saltGROWTH, uint64(n)),
+			Graph: regularPointGraph(n, 4),
+			// (The pre-sweep code salted each process's batch with the
+			// LENGTH of the process name, so "vprocess" and "eprocess"
+			// shared seeds; arms on a shared graph make that impossible.)
+			Arms: []Arm{srwArmV("srw"), vprocessArmV("vprocess"), eprocessArmV("eprocess", nil)},
+		})
 	}
-	procs := []proc{
-		{"srw", func(g *graph.Graph, r *rng.Rand, s int) walk.Process { return walk.NewSimple(g, r, s) }},
-		{"vprocess", func(g *graph.Graph, r *rng.Rand, s int) walk.Process { return walk.NewVProcess(g, r, s) }},
-		{"eprocess", func(g *graph.Graph, r *rng.Rand, s int) walk.Process { return walk.NewEProcess(g, r, nil, s) }},
-	}
-	var out []GrowthByProcess
-	t := NewTable("ABLATION-GROWTH: cover growth by process (4-regular)",
-		"process", "n", "C_V", "C_V/n", "verdict")
-	for _, p := range procs {
-		var ns, ys []float64
-		var perRow [][2]float64
-		for _, b := range base {
-			n := b * cfg.Scale
-			res, err := RunVertexOnly(cfg.runCfg(uint64(len(p.name))<<32^uint64(n)),
-				func(r *rand.Rand) (*graph.Graph, error) { return gen.RandomRegularSW(r, n, 4) }, p.pf)
+	finish := func(points []PointResult) ([]GrowthByProcess, *Table, error) {
+		var out []GrowthByProcess
+		t := NewTable("ABLATION-GROWTH: cover growth by process (4-regular)",
+			"process", "n", "C_V", "C_V/n", "verdict")
+		for pi, name := range procNames {
+			var xs, ys []float64
+			for i, pt := range points {
+				xs = append(xs, float64(ns[i]))
+				ys = append(ys, pt.Arms[pi].VertexStats.Mean)
+			}
+			growth, err := stats.ClassifyGrowth(xs, ys)
 			if err != nil {
 				return nil, nil, err
 			}
-			ns = append(ns, float64(n))
-			ys = append(ys, res.VertexStats.Mean)
-			perRow = append(perRow, [2]float64{float64(n), res.VertexStats.Mean})
-		}
-		growth, err := stats.ClassifyGrowth(ns, ys)
-		if err != nil {
-			return nil, nil, err
-		}
-		out = append(out, GrowthByProcess{Process: p.name, Growth: growth})
-		for i, row := range perRow {
-			verdict := ""
-			if i == len(perRow)-1 {
-				verdict = growth.Verdict
+			out = append(out, GrowthByProcess{Process: name, Growth: growth})
+			for i := range points {
+				verdict := ""
+				if i == len(points)-1 {
+					verdict = growth.Verdict
+				}
+				t.AddRow(name, ns[i], ys[i], ys[i]/xs[i], verdict)
 			}
-			t.AddRow(p.name, int(row[0]), row[1], row[1]/row[0], verdict)
 		}
+		return out, t, nil
 	}
-	return out, t, nil
+	return plan, finish
+}
+
+// ExpAblationGrowth classifies the growth of the three processes on
+// 4-regular graphs over an n sweep.
+func ExpAblationGrowth(cfg ExpConfig) ([]GrowthByProcess, *Table, error) {
+	plan, finish := ablationGrowthPlan(cfg.withDefaults())
+	points, err := plan.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	return finish(points)
 }

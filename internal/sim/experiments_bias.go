@@ -1,9 +1,8 @@
 package sim
 
 import (
-	"math/rand"
+	"fmt"
 
-	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/rng"
 	"repro/internal/walk"
@@ -18,38 +17,56 @@ type BiasRow struct {
 	Normalized float64 // vertex cover / n
 }
 
+func biasSweepPlan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]BiasRow, *Table, error)) {
+	n := 500 * cfg.Scale
+	biases := []float64{0, 0.25, 0.5, 0.75, 0.9, 1}
+	// One point, one arm per bias: the whole sweep runs on the same
+	// frozen instances, so the bias axis is the only varying quantity.
+	var arms []Arm
+	for _, bias := range biases {
+		bias := bias
+		arms = append(arms, CoverArm(fmt.Sprintf("bias=%g", bias),
+			func(g *graph.Graph, r *rng.Rand, start int) walk.Process {
+				return walk.NewBiased(g, r.Rand, bias, start)
+			}))
+	}
+	plan := &SweepPlan{Config: cfg.config(), Points: []PointSpec{{
+		Key:   fmt.Sprintf("bias n=%d", n),
+		Salt:  Salt(saltBIAS, uint64(n)),
+		Graph: regularPointGraph(n, 4),
+		Arms:  arms,
+	}}}
+	finish := func(points []PointResult) ([]BiasRow, *Table, error) {
+		var rows []BiasRow
+		for i, res := range points[0].Arms {
+			rows = append(rows, BiasRow{
+				Bias:       biases[i],
+				N:          n,
+				Vertex:     res.VertexStats.Mean,
+				Edge:       res.EdgeStats.Mean,
+				Normalized: res.VertexStats.Mean / float64(n),
+			})
+		}
+		t := NewTable("BIAS: cover time vs unvisited-edge preference strength (4-regular)",
+			"bias", "n", "C_V", "C_V/n", "C_E")
+		for _, r := range rows {
+			t.AddRow(r.Bias, r.N, r.Vertex, r.Normalized, r.Edge)
+		}
+		return rows, t, nil
+	}
+	return plan, finish
+}
+
 // ExpBiasSweep sweeps the unvisited-edge preference strength from 0
 // (plain SRW) to 1 (the paper's E-process) on a random 4-regular graph.
 // The paper analyses only bias = 1; the sweep shows how the linear
 // cover time emerges as the preference becomes strict — the constant
 // improves smoothly but the Θ(n) plateau only appears near bias 1.
 func ExpBiasSweep(cfg ExpConfig) ([]BiasRow, *Table, error) {
-	cfg = cfg.withDefaults()
-	n := 500 * cfg.Scale
-	biases := []float64{0, 0.25, 0.5, 0.75, 0.9, 1}
-	var rows []BiasRow
-	for _, bias := range biases {
-		bias := bias
-		res, err := Run(cfg.runCfg(uint64(bias*1000)+0xB1A5),
-			func(r *rand.Rand) (*graph.Graph, error) { return gen.RandomRegularSW(r, n, 4) },
-			func(g *graph.Graph, r *rng.Rand, start int) walk.Process {
-				return walk.NewBiased(g, r.Rand, bias, start)
-			})
-		if err != nil {
-			return nil, nil, err
-		}
-		rows = append(rows, BiasRow{
-			Bias:       bias,
-			N:          n,
-			Vertex:     res.VertexStats.Mean,
-			Edge:       res.EdgeStats.Mean,
-			Normalized: res.VertexStats.Mean / float64(n),
-		})
+	plan, finish := biasSweepPlan(cfg.withDefaults())
+	points, err := plan.Run()
+	if err != nil {
+		return nil, nil, err
 	}
-	t := NewTable("BIAS: cover time vs unvisited-edge preference strength (4-regular)",
-		"bias", "n", "C_V", "C_V/n", "C_E")
-	for _, r := range rows {
-		t.AddRow(r.Bias, r.N, r.Vertex, r.Normalized, r.Edge)
-	}
-	return rows, t, nil
+	return finish(points)
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -25,63 +26,63 @@ type HypercubeRow struct {
 	GRWBound   float64 // eq. (2) upper bound (loose here: O(n log² n))
 }
 
-// ExpHypercube contrasts E-process and SRW edge cover on H_r: the paper
-// argues Θ(n log n) vs Θ(n log² n), beating the eq. (2) bound.
-func ExpHypercube(cfg ExpConfig) ([]HypercubeRow, *Table, error) {
-	cfg = cfg.withDefaults()
+func hypercubePlan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]HypercubeRow, *Table, error)) {
 	dims := []int{6, 8, 10}
 	if cfg.Scale >= 4 {
 		dims = []int{8, 10, 12}
 	}
-	var rows []HypercubeRow
+	// SRW edge cover measured directly (not just vertex cover) via the
+	// full-cover arm; both processes run on the same frozen hypercube.
+	srwArm := CoverArm("srw", func(g *graph.Graph, r *rng.Rand, start int) walk.Process {
+		return walk.NewSimple(g, r, start)
+	})
+	plan := &SweepPlan{Config: cfg.config()}
 	for _, r := range dims {
-		gf := func(*rand.Rand) (*graph.Graph, error) { return gen.Hypercube(r) }
-		ep, err := Run(cfg.runCfg(uint64(r)), gf,
-			func(g *graph.Graph, rr *rng.Rand, start int) walk.Process {
-				return walk.NewEProcess(g, rr, nil, start)
-			})
-		if err != nil {
-			return nil, nil, err
-		}
-		// SRW edge cover measured directly (not just vertex cover).
-		srwSamples := make([]float64, 0, cfg.Trials)
-		stream := rng.NewStream(rng.KindXoshiro, cfg.Seed^uint64(r)<<20)
-		g, err := gen.Hypercube(r)
-		if err != nil {
-			return nil, nil, err
-		}
-		for i := 0; i < cfg.Trials; i++ {
-			w := walk.NewSimple(g, rand.New(stream.Next()), 0)
-			steps, err := walk.EdgeCoverSteps(w, 0)
-			if err != nil {
-				return nil, nil, err
-			}
-			srwSamples = append(srwSamples, float64(steps))
-		}
-		srwMean := 0.0
-		for _, s := range srwSamples {
-			srwMean += s
-		}
-		srwMean /= float64(len(srwSamples))
-
-		n := float64(g.N())
-		lnN := math.Log(n)
-		// Lazy gap of H_r: λ2 = 1−2/r → lazy gap = 1/r.
-		rows = append(rows, HypercubeRow{
-			R: r, N: g.N(), M: g.M(),
-			EProcess:   ep.EdgeStats.Mean,
-			SRW:        srwMean,
-			PerNLogN:   ep.EdgeStats.Mean / (n * lnN),
-			SRWPerNLg2: srwMean / (n * lnN * lnN),
-			GRWBound:   core.GreedyWalkBound(g.N(), g.M(), 1/float64(r)),
+		r := r
+		plan.Points = append(plan.Points, PointSpec{
+			Key:   fmt.Sprintf("hcube r=%d", r),
+			Salt:  Salt(saltHCUBE, uint64(r)),
+			Graph: func(*rand.Rand) (*graph.Graph, error) { return gen.Hypercube(r) },
+			Arms:  []Arm{eprocessArm("eprocess"), srwArm},
 		})
 	}
-	t := NewTable("HCUBE: edge cover on the hypercube H_r",
-		"r", "n", "m", "C_E(E)", "C_E(SRW)", "E/(n·ln n)", "SRW/(n·ln² n)", "eq2 bound")
-	for _, row := range rows {
-		t.AddRow(row.R, row.N, row.M, row.EProcess, row.SRW, row.PerNLogN, row.SRWPerNLg2, row.GRWBound)
+	finish := func(points []PointResult) ([]HypercubeRow, *Table, error) {
+		var rows []HypercubeRow
+		for i, pt := range points {
+			r := dims[i]
+			g := pt.Rep
+			ep, srw := pt.Arms[0], pt.Arms[1]
+			n := float64(g.N())
+			lnN := math.Log(n)
+			// Lazy gap of H_r: λ2 = 1−2/r → lazy gap = 1/r.
+			rows = append(rows, HypercubeRow{
+				R: r, N: g.N(), M: g.M(),
+				EProcess:   ep.EdgeStats.Mean,
+				SRW:        srw.EdgeStats.Mean,
+				PerNLogN:   ep.EdgeStats.Mean / (n * lnN),
+				SRWPerNLg2: srw.EdgeStats.Mean / (n * lnN * lnN),
+				GRWBound:   core.GreedyWalkBound(g.N(), g.M(), 1/float64(r)),
+			})
+		}
+		t := NewTable("HCUBE: edge cover on the hypercube H_r",
+			"r", "n", "m", "C_E(E)", "C_E(SRW)", "E/(n·ln n)", "SRW/(n·ln² n)", "eq2 bound")
+		for _, row := range rows {
+			t.AddRow(row.R, row.N, row.M, row.EProcess, row.SRW, row.PerNLogN, row.SRWPerNLg2, row.GRWBound)
+		}
+		return rows, t, nil
 	}
-	return rows, t, nil
+	return plan, finish
+}
+
+// ExpHypercube contrasts E-process and SRW edge cover on H_r: the paper
+// argues Θ(n log n) vs Θ(n log² n), beating the eq. (2) bound.
+func ExpHypercube(cfg ExpConfig) ([]HypercubeRow, *Table, error) {
+	plan, finish := hypercubePlan(cfg.withDefaults())
+	points, err := plan.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	return finish(points)
 }
 
 // --- STAR: Section 5 isolated blue stars on odd-degree graphs -------------
@@ -95,43 +96,63 @@ type StarRow struct {
 	NOver8      float64 // the paper's n/8 prediction (r=3 only)
 }
 
+func oddStarsPlan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]StarRow, *Table, error)) {
+	n := 400 * cfg.Scale
+	degs := []int{3, 4}
+	// The census arm repurposes the Measurement channels: Vertex
+	// carries the distinct-centre count, Edge the peak population.
+	censusArm := Arm{Name: "star-census", Run: func(trial int, g *graph.Graph, r *rng.Rand, sc *walk.CoverScratch, maxSteps int64) (Measurement, error) {
+		e := walk.NewEProcess(g, r, nil, 0)
+		st, err := core.StarCensusRun(e, maxSteps)
+		if err != nil {
+			return Measurement{}, err
+		}
+		return Measurement{Vertex: float64(st.EverCenters), Edge: float64(st.Peak)}, nil
+	}}
+	plan := &SweepPlan{Config: cfg.config()}
+	for _, deg := range degs {
+		plan.Points = append(plan.Points, PointSpec{
+			Key:   fmt.Sprintf("star d=%d", deg),
+			Salt:  Salt(saltSTAR, uint64(deg)),
+			Graph: regularPointGraph(n, deg),
+			Arms:  []Arm{censusArm},
+		})
+	}
+	finish := func(points []PointResult) ([]StarRow, *Table, error) {
+		var rows []StarRow
+		for i, pt := range points {
+			deg := degs[i]
+			pred := 0.0
+			if deg == 3 {
+				pred = core.OddStarExpectation(n)
+			}
+			rows = append(rows, StarRow{
+				Degree:      deg,
+				N:           n,
+				EverCenters: pt.Arms[0].VertexStats.Mean,
+				Peak:        pt.Arms[0].EdgeStats.Mean,
+				NOver8:      pred,
+			})
+		}
+		t := NewTable("STAR: isolated blue stars left by the blue walk (Section 5)",
+			"degree", "n", "ever-centres", "peak", "n/8 prediction")
+		for _, r := range rows {
+			t.AddRow(r.Degree, r.N, r.EverCenters, r.Peak, r.NOver8)
+		}
+		return rows, t, nil
+	}
+	return plan, finish
+}
+
 // ExpOddStars runs the Section 5 star census: 3-regular graphs should
 // produce ≈ n/8 isolated blue stars; even degrees exactly 0.
 func ExpOddStars(cfg ExpConfig) ([]StarRow, *Table, error) {
-	cfg = cfg.withDefaults()
-	n := 400 * cfg.Scale
-	var rows []StarRow
-	for _, deg := range []int{3, 4} {
-		stream := rng.NewStream(rng.KindXoshiro, cfg.Seed^uint64(deg)<<24)
-		var ever, peak float64
-		for i := 0; i < cfg.Trials; i++ {
-			r := rand.New(stream.Next())
-			g, err := gen.RandomRegularSW(r, n, deg)
-			if err != nil {
-				return nil, nil, err
-			}
-			e := walk.NewEProcess(g, r, nil, 0)
-			st, err := core.StarCensusRun(e, 0)
-			if err != nil {
-				return nil, nil, err
-			}
-			ever += float64(st.EverCenters)
-			peak += float64(st.Peak)
-		}
-		ever /= float64(cfg.Trials)
-		peak /= float64(cfg.Trials)
-		pred := 0.0
-		if deg == 3 {
-			pred = core.OddStarExpectation(n)
-		}
-		rows = append(rows, StarRow{Degree: deg, N: n, EverCenters: ever, Peak: peak, NOver8: pred})
+	plan, finish := oddStarsPlan(cfg.withDefaults())
+	points, err := plan.Run()
+	if err != nil {
+		return nil, nil, err
 	}
-	t := NewTable("STAR: isolated blue stars left by the blue walk (Section 5)",
-		"degree", "n", "ever-centres", "peak", "n/8 prediction")
-	for _, r := range rows {
-		t.AddRow(r.Degree, r.N, r.EverCenters, r.Peak, r.NOver8)
-	}
-	return rows, t, nil
+	return finish(points)
 }
 
 // --- RULEA: rule independence ---------------------------------------------
@@ -144,11 +165,7 @@ type RuleRow struct {
 	Normalized float64
 }
 
-// ExpRuleIndependence runs the E-process under every implemented rule A
-// on the same graph family; Theorem 1 predicts all normalised cover
-// times stay O(1) on even-degree expanders, adversarial rules included.
-func ExpRuleIndependence(cfg ExpConfig) ([]RuleRow, *Table, error) {
-	cfg = cfg.withDefaults()
+func ruleIndependencePlan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]RuleRow, *Table, error)) {
 	n := 500 * cfg.Scale
 	// Rules are built fresh per trial: stateful rules (RoundRobin) carry
 	// per-run state that must not be shared across the worker pool's
@@ -161,30 +178,50 @@ func ExpRuleIndependence(cfg ExpConfig) ([]RuleRow, *Table, error) {
 		func() walk.Rule { return walk.TowardVisited{} },
 		func() walk.Rule { return walk.TowardUnvisited{} },
 	}
-	var rows []RuleRow
+	// One point, six arms: every rule runs on the same frozen instances.
+	var arms []Arm
 	for _, newRule := range rules {
 		newRule := newRule
-		res, err := RunVertexOnly(cfg.runCfg(0xA11CE),
-			func(r *rand.Rand) (*graph.Graph, error) { return gen.RandomRegularSW(r, n, 4) },
-			func(g *graph.Graph, r *rng.Rand, start int) walk.Process {
-				return walk.NewEProcess(g, r, newRule(), start)
+		arms = append(arms, VertexArm(newRule().Name(), func(g *graph.Graph, r *rng.Rand, start int) walk.Process {
+			return walk.NewEProcess(g, r, newRule(), start)
+		}))
+	}
+	plan := &SweepPlan{Config: cfg.config(), Points: []PointSpec{{
+		Key:   fmt.Sprintf("rulea n=%d", n),
+		Salt:  Salt(saltRULEA, uint64(n)),
+		Graph: regularPointGraph(n, 4),
+		Arms:  arms,
+	}}}
+	finish := func(points []PointResult) ([]RuleRow, *Table, error) {
+		var rows []RuleRow
+		for i, res := range points[0].Arms {
+			rows = append(rows, RuleRow{
+				Rule:       rules[i]().Name(),
+				N:          n,
+				Vertex:     res.VertexStats.Mean,
+				Normalized: res.VertexStats.Mean / float64(n),
 			})
-		if err != nil {
-			return nil, nil, err
 		}
-		rows = append(rows, RuleRow{
-			Rule:       newRule().Name(),
-			N:          n,
-			Vertex:     res.VertexStats.Mean,
-			Normalized: res.VertexStats.Mean / float64(n),
-		})
+		t := NewTable("RULEA: E-process vertex cover under different rules A (4-regular)",
+			"rule", "n", "C_V(E)", "C_V/n")
+		for _, r := range rows {
+			t.AddRow(r.Rule, r.N, r.Vertex, r.Normalized)
+		}
+		return rows, t, nil
 	}
-	t := NewTable("RULEA: E-process vertex cover under different rules A (4-regular)",
-		"rule", "n", "C_V(E)", "C_V/n")
-	for _, r := range rows {
-		t.AddRow(r.Rule, r.N, r.Vertex, r.Normalized)
+	return plan, finish
+}
+
+// ExpRuleIndependence runs the E-process under every implemented rule A
+// on the same graph family; Theorem 1 predicts all normalised cover
+// times stay O(1) on even-degree expanders, adversarial rules included.
+func ExpRuleIndependence(cfg ExpConfig) ([]RuleRow, *Table, error) {
+	plan, finish := ruleIndependencePlan(cfg.withDefaults())
+	points, err := plan.Run()
+	if err != nil {
+		return nil, nil, err
 	}
-	return rows, t, nil
+	return finish(points)
 }
 
 // --- P1P2: random regular structural properties ---------------------------
@@ -200,54 +237,74 @@ type PropertyRow struct {
 	ShortCycles int // census size at the horizon
 }
 
+func randomRegularPropertiesPlan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]PropertyRow, *Table, error)) {
+	n := 400 * cfg.Scale
+	const eps = 0.35 // (P1) allows any constant ε > 0; finite-n slack
+	degs := []int{4, 6}
+	// Structural experiment: no walk arms, only one sampled instance
+	// per degree (Trials: 1) whose Rep graph is analysed after the run.
+	plan := &SweepPlan{Config: cfg.config()}
+	for _, deg := range degs {
+		plan.Points = append(plan.Points, PointSpec{
+			Key:    fmt.Sprintf("p1p2 d=%d", deg),
+			Salt:   Salt(saltP1P2, uint64(deg)),
+			Graph:  regularPointGraph(n, deg),
+			Trials: 1,
+		})
+	}
+	finish := func(points []PointResult) ([]PropertyRow, *Table, error) {
+		var rows []PropertyRow
+		for i, pt := range points {
+			deg := degs[i]
+			g := pt.Rep
+			l2, err := spectral.Lambda2(g, spectral.Options{Tol: 1e-9})
+			if err != nil {
+				return nil, nil, err
+			}
+			adjL2 := l2 * float64(deg)
+			alon := 2*math.Sqrt(float64(deg-1)) + eps
+			horizon := 8
+			cycles, err := core.Census(g, horizon, 0)
+			if err != nil {
+				return nil, nil, err
+			}
+			p2 := 0
+			for s := 3; s <= horizon; s++ {
+				if core.P2Holds(g, s, cycles) {
+					p2 = s
+				} else {
+					break
+				}
+			}
+			rows = append(rows, PropertyRow{
+				Degree:      deg,
+				N:           n,
+				Lambda2Adj:  adjL2,
+				AlonBound:   alon,
+				P1Holds:     adjL2 <= alon,
+				P2Horizon:   p2,
+				ShortCycles: len(cycles),
+			})
+		}
+		t := NewTable("P1P2: structural properties of random regular graphs (Section 4)",
+			"degree", "n", "λ2(adj)", "2√(r−1)+ε", "(P1)", "(P2) up to s", "short cycles")
+		for _, r := range rows {
+			t.AddRow(r.Degree, r.N, r.Lambda2Adj, r.AlonBound, r.P1Holds, r.P2Horizon, r.ShortCycles)
+		}
+		return rows, t, nil
+	}
+	return plan, finish
+}
+
 // ExpRandomRegularProperties verifies (P1) and (P2) numerically on
 // sampled random regular graphs.
 func ExpRandomRegularProperties(cfg ExpConfig) ([]PropertyRow, *Table, error) {
-	cfg = cfg.withDefaults()
-	n := 400 * cfg.Scale
-	const eps = 0.35 // (P1) allows any constant ε > 0; finite-n slack
-	var rows []PropertyRow
-	for _, deg := range []int{4, 6} {
-		stream := rng.NewStream(rng.KindXoshiro, cfg.Seed^uint64(deg)<<28)
-		g, err := gen.RandomRegularSW(rand.New(stream.Next()), n, deg)
-		if err != nil {
-			return nil, nil, err
-		}
-		l2, err := spectral.Lambda2(g, spectral.Options{Tol: 1e-9})
-		if err != nil {
-			return nil, nil, err
-		}
-		adjL2 := l2 * float64(deg)
-		alon := 2*math.Sqrt(float64(deg-1)) + eps
-		horizon := 8
-		cycles, err := core.Census(g, horizon, 0)
-		if err != nil {
-			return nil, nil, err
-		}
-		p2 := 0
-		for s := 3; s <= horizon; s++ {
-			if core.P2Holds(g, s, cycles) {
-				p2 = s
-			} else {
-				break
-			}
-		}
-		rows = append(rows, PropertyRow{
-			Degree:      deg,
-			N:           n,
-			Lambda2Adj:  adjL2,
-			AlonBound:   alon,
-			P1Holds:     adjL2 <= alon,
-			P2Horizon:   p2,
-			ShortCycles: len(cycles),
-		})
+	plan, finish := randomRegularPropertiesPlan(cfg.withDefaults())
+	points, err := plan.Run()
+	if err != nil {
+		return nil, nil, err
 	}
-	t := NewTable("P1P2: structural properties of random regular graphs (Section 4)",
-		"degree", "n", "λ2(adj)", "2√(r−1)+ε", "(P1)", "(P2) up to s", "short cycles")
-	for _, r := range rows {
-		t.AddRow(r.Degree, r.N, r.Lambda2Adj, r.AlonBound, r.P1Holds, r.P2Horizon, r.ShortCycles)
-	}
-	return rows, t, nil
+	return finish(points)
 }
 
 // --- GRW: Orenshtein–Shinkar greedy random walk ---------------------------
@@ -261,52 +318,67 @@ type GreedyRow struct {
 	Ratio    float64
 }
 
-// ExpGreedyWalk measures GRW edge cover against the eq. (2) bound,
-// including an r = Θ(log n) family where the bound is Θ(m).
-func ExpGreedyWalk(cfg ExpConfig) ([]GreedyRow, *Table, error) {
-	cfg = cfg.withDefaults()
+func greedyWalkPlan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]GreedyRow, *Table, error)) {
 	n := 256 * cfg.Scale
 	lgN := 0
 	for s := n; s > 1; s >>= 1 {
 		lgN++
 	}
-	degs := []int{4, 6, lgN &^ 1} // include an even r ≈ log2 n
-	var rows []GreedyRow
-	for _, deg := range degs {
+	candidates := []int{4, 6, lgN &^ 1} // include an even r ≈ log2 n
+	var degs []int
+	for _, deg := range candidates {
 		if deg >= n || deg < 3 {
 			continue
 		}
-		res, err := Run(cfg.runCfg(uint64(deg)<<12),
-			func(r *rand.Rand) (*graph.Graph, error) { return gen.RandomRegularSW(r, n, deg) },
-			func(g *graph.Graph, r *rng.Rand, start int) walk.Process { return walk.NewEProcess(g, r, nil, start) })
-		if err != nil {
-			return nil, nil, err
-		}
-		g, err := gen.RandomRegularSW(rand.New(rng.NewStream(rng.KindXoshiro, cfg.Seed^uint64(deg)<<12).Next()), n, deg)
-		if err != nil {
-			return nil, nil, err
-		}
-		gap, err := spectral.ComputeGap(g, spectral.Options{Tol: 1e-8})
-		if err != nil {
-			return nil, nil, err
-		}
-		lazy := spectral.LazyGap(gap)
-		row := GreedyRow{
-			Degree:   deg,
-			N:        g.N(),
-			M:        g.M(),
-			Measured: res.EdgeStats.Mean,
-			Bound:    core.GreedyWalkBound(g.N(), g.M(), lazy.Value),
-		}
-		row.Ratio = row.Measured / row.Bound
-		rows = append(rows, row)
+		degs = append(degs, deg)
 	}
-	t := NewTable("GRW: greedy random walk edge cover vs eq. (2)",
-		"degree", "n", "m", "C_E(GRW)", "bound", "ratio")
-	for _, r := range rows {
-		t.AddRow(r.Degree, r.N, r.M, r.Measured, r.Bound, r.Ratio)
+	plan := &SweepPlan{Config: cfg.config()}
+	for _, deg := range degs {
+		plan.Points = append(plan.Points, PointSpec{
+			Key:   fmt.Sprintf("grw d=%d", deg),
+			Salt:  Salt(saltGRW, uint64(deg)),
+			Graph: regularPointGraph(n, deg),
+			Arms:  []Arm{eprocessArm("grw")},
+		})
 	}
-	return rows, t, nil
+	finish := func(points []PointResult) ([]GreedyRow, *Table, error) {
+		var rows []GreedyRow
+		for i, pt := range points {
+			g := pt.Rep
+			gap, err := spectral.ComputeGap(g, spectral.Options{Tol: 1e-8})
+			if err != nil {
+				return nil, nil, err
+			}
+			lazy := spectral.LazyGap(gap)
+			row := GreedyRow{
+				Degree:   degs[i],
+				N:        g.N(),
+				M:        g.M(),
+				Measured: pt.Arms[0].EdgeStats.Mean,
+				Bound:    core.GreedyWalkBound(g.N(), g.M(), lazy.Value),
+			}
+			row.Ratio = row.Measured / row.Bound
+			rows = append(rows, row)
+		}
+		t := NewTable("GRW: greedy random walk edge cover vs eq. (2)",
+			"degree", "n", "m", "C_E(GRW)", "bound", "ratio")
+		for _, r := range rows {
+			t.AddRow(r.Degree, r.N, r.M, r.Measured, r.Bound, r.Ratio)
+		}
+		return rows, t, nil
+	}
+	return plan, finish
+}
+
+// ExpGreedyWalk measures GRW edge cover against the eq. (2) bound,
+// including an r = Θ(log n) family where the bound is Θ(m).
+func ExpGreedyWalk(cfg ExpConfig) ([]GreedyRow, *Table, error) {
+	plan, finish := greedyWalkPlan(cfg.withDefaults())
+	points, err := plan.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	return finish(points)
 }
 
 // --- RWC / ROTOR / FAIR: comparison processes -----------------------------
@@ -320,12 +392,7 @@ type CompareRow struct {
 	Edge    float64
 }
 
-// ExpProcessComparison runs SRW, E-process, RWC(2), RWC(3), the
-// rotor-router and the locally fair walks on a torus and a random
-// geometric graph (the Avin–Krishnamachari setting) plus a random
-// 4-regular expander.
-func ExpProcessComparison(cfg ExpConfig) ([]CompareRow, *Table, error) {
-	cfg = cfg.withDefaults()
+func processComparisonPlan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]CompareRow, *Table, error)) {
 	side := 20 * cfg.Scale
 	nRGG := 300 * cfg.Scale
 	nReg := 400 * cfg.Scale
@@ -336,7 +403,7 @@ func ExpProcessComparison(cfg ExpConfig) ([]CompareRow, *Table, error) {
 	families := []fam{
 		{"torus", func(r *rand.Rand) (*graph.Graph, error) { return gen.Torus(side, side) }},
 		{"rgg", func(r *rand.Rand) (*graph.Graph, error) { return gen.RandomGeometricConnected(r, nRGG, 0) }},
-		{"random-4-regular", func(r *rand.Rand) (*graph.Graph, error) { return gen.RandomRegularSW(r, nReg, 4) }},
+		{"random-4-regular", regularPointGraph(nReg, 4)},
 	}
 	type proc struct {
 		name  string
@@ -351,29 +418,53 @@ func ExpProcessComparison(cfg ExpConfig) ([]CompareRow, *Table, error) {
 		{"least-used", func(g *graph.Graph, r *rng.Rand, s int) walk.Process { return walk.NewLeastUsedFirst(g, r, s) }},
 		{"oldest-first", func(g *graph.Graph, r *rng.Rand, s int) walk.Process { return walk.NewOldestFirst(g, r, s) }},
 	}
-	var rows []CompareRow
+	// One point per family; every process is an arm on the same frozen
+	// instances. (The pre-sweep code derived one seed per (family,
+	// process) pair with a hand-mixed expression whose precedence bug
+	// let distinct pairs collide, and regenerated the graph per pair.)
+	plan := &SweepPlan{Config: cfg.config()}
 	for fi, f := range families {
+		arms := make([]Arm, len(procs))
 		for pi, p := range procs {
-			res, err := Run(cfg.runCfg(uint64(fi)<<8|uint64(pi)), f.build, p.build)
-			if err != nil {
-				return nil, nil, err
-			}
-			var n int
-			g, err := f.build(rand.New(rng.NewStream(rng.KindXoshiro, cfg.Seed^uint64(fi)<<8|uint64(pi)).Next()))
-			if err == nil {
-				n = g.N()
-			}
-			rows = append(rows, CompareRow{
-				Process: p.name, Family: f.name, N: n,
-				Vertex: res.VertexStats.Mean,
-				Edge:   res.EdgeStats.Mean,
-			})
+			arms[pi] = CoverArm(p.name, p.build)
 		}
+		plan.Points = append(plan.Points, PointSpec{
+			Key:   "compare " + f.name,
+			Salt:  Salt(saltCOMPARE, uint64(fi)),
+			Graph: f.build,
+			Arms:  arms,
+		})
 	}
-	t := NewTable("COMPARE: cover times across processes and families",
-		"family", "process", "n", "C_V", "C_E")
-	for _, r := range rows {
-		t.AddRow(r.Family, r.Process, r.N, r.Vertex, r.Edge)
+	finish := func(points []PointResult) ([]CompareRow, *Table, error) {
+		var rows []CompareRow
+		for fi, pt := range points {
+			for pi, res := range pt.Arms {
+				rows = append(rows, CompareRow{
+					Process: procs[pi].name, Family: families[fi].name, N: pt.Rep.N(),
+					Vertex: res.VertexStats.Mean,
+					Edge:   res.EdgeStats.Mean,
+				})
+			}
+		}
+		t := NewTable("COMPARE: cover times across processes and families",
+			"family", "process", "n", "C_V", "C_E")
+		for _, r := range rows {
+			t.AddRow(r.Family, r.Process, r.N, r.Vertex, r.Edge)
+		}
+		return rows, t, nil
 	}
-	return rows, t, nil
+	return plan, finish
+}
+
+// ExpProcessComparison runs SRW, E-process, RWC(2), RWC(3), the
+// rotor-router and the locally fair walks on a torus and a random
+// geometric graph (the Avin–Krishnamachari setting) plus a random
+// 4-regular expander.
+func ExpProcessComparison(cfg ExpConfig) ([]CompareRow, *Table, error) {
+	plan, finish := processComparisonPlan(cfg.withDefaults())
+	points, err := plan.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	return finish(points)
 }

@@ -1,13 +1,12 @@
 package sim
 
 import (
+	"fmt"
 	"math/rand"
 
 	"repro/internal/gen"
 	"repro/internal/graph"
-	"repro/internal/rng"
 	"repro/internal/stats"
-	"repro/internal/walk"
 )
 
 // DegSeqRow is one n-point of the mixed-degree-sequence experiment.
@@ -18,19 +17,14 @@ type DegSeqRow struct {
 	Normalized float64
 }
 
-// ExpDegreeSequence measures the E-process on the second family of the
-// paper's Corollary 2 discussion: fixed degree sequence random graphs
-// with all degrees even, finite and at least 4 (here a 50/30/20 mixture
-// of degrees 4, 6 and 8). The Θ(n) conclusion must survive the loss of
-// regularity.
-func ExpDegreeSequence(cfg ExpConfig) ([]DegSeqRow, *Table, stats.Growth, error) {
-	cfg = cfg.withDefaults()
+func degreeSequencePlan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]DegSeqRow, *Table, stats.Growth, error)) {
 	base := []int{200, 400, 800, 1600}
 	mix := "50% d=4, 30% d=6, 20% d=8"
-	var rows []DegSeqRow
-	var ns, ys []float64
+	plan := &SweepPlan{Config: cfg.config()}
+	var ns []int
 	for _, b := range base {
 		n := b * cfg.Scale
+		ns = append(ns, n)
 		degrees := make([]int, n)
 		for i := range degrees {
 			switch {
@@ -46,35 +40,56 @@ func ExpDegreeSequence(cfg ExpConfig) ([]DegSeqRow, *Table, stats.Growth, error)
 		// realisable; the SW generator pairs stubs incrementally, which
 		// is essential here (whole-configuration rejection accepts with
 		// probability ~1e−4 on this mixture).
-		res, err := RunVertexOnly(cfg.runCfg(uint64(n)<<2^0xDE65E9),
-			func(r *rand.Rand) (*graph.Graph, error) { return gen.RandomDegreeSequenceSW(r, degrees) },
-			func(g *graph.Graph, r *rng.Rand, start int) walk.Process {
-				return walk.NewEProcess(g, r, nil, start)
+		plan.Points = append(plan.Points, PointSpec{
+			Key:   fmt.Sprintf("degseq n=%d", n),
+			Salt:  Salt(saltDEGSEQ, uint64(n)),
+			Graph: func(r *rand.Rand) (*graph.Graph, error) { return gen.RandomDegreeSequenceSW(r, degrees) },
+			Arms:  []Arm{eprocessArmV("eprocess", nil)},
+		})
+	}
+	finish := func(points []PointResult) ([]DegSeqRow, *Table, stats.Growth, error) {
+		var rows []DegSeqRow
+		var xs, ys []float64
+		for i, pt := range points {
+			n := ns[i]
+			mean := pt.Arms[0].VertexStats.Mean
+			rows = append(rows, DegSeqRow{
+				N:          n,
+				Mix:        mix,
+				Vertex:     mean,
+				Normalized: mean / float64(n),
 			})
+			xs = append(xs, float64(n))
+			ys = append(ys, mean)
+		}
+		growth, err := stats.ClassifyGrowth(xs, ys)
 		if err != nil {
 			return nil, nil, stats.Growth{}, err
 		}
-		rows = append(rows, DegSeqRow{
-			N:          n,
-			Mix:        mix,
-			Vertex:     res.VertexStats.Mean,
-			Normalized: res.VertexStats.Mean / float64(n),
-		})
-		ns = append(ns, float64(n))
-		ys = append(ys, res.VertexStats.Mean)
+		t := NewTable("DEGSEQ: E-process on fixed even degree sequences (d ∈ {4,6,8})",
+			"n", "mixture", "C_V(E)", "C_V/n", "verdict")
+		for i, r := range rows {
+			verdict := ""
+			if i == len(rows)-1 {
+				verdict = growth.Verdict
+			}
+			t.AddRow(r.N, r.Mix, r.Vertex, r.Normalized, verdict)
+		}
+		return rows, t, growth, nil
 	}
-	growth, err := stats.ClassifyGrowth(ns, ys)
+	return plan, finish
+}
+
+// ExpDegreeSequence measures the E-process on the second family of the
+// paper's Corollary 2 discussion: fixed degree sequence random graphs
+// with all degrees even, finite and at least 4 (here a 50/30/20 mixture
+// of degrees 4, 6 and 8). The Θ(n) conclusion must survive the loss of
+// regularity.
+func ExpDegreeSequence(cfg ExpConfig) ([]DegSeqRow, *Table, stats.Growth, error) {
+	plan, finish := degreeSequencePlan(cfg.withDefaults())
+	points, err := plan.Run()
 	if err != nil {
 		return nil, nil, stats.Growth{}, err
 	}
-	t := NewTable("DEGSEQ: E-process on fixed even degree sequences (d ∈ {4,6,8})",
-		"n", "mixture", "C_V(E)", "C_V/n", "verdict")
-	for i, r := range rows {
-		verdict := ""
-		if i == len(rows)-1 {
-			verdict = growth.Verdict
-		}
-		t.AddRow(r.N, r.Mix, r.Vertex, r.Normalized, verdict)
-	}
-	return rows, t, growth, nil
+	return finish(points)
 }

@@ -1,11 +1,12 @@
 package sim
 
 import (
+	"fmt"
 	"math"
-	"math/rand"
+	"sync"
 
 	"repro/internal/core"
-	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/rng"
 	"repro/internal/spectral"
 	"repro/internal/walk"
@@ -22,67 +23,75 @@ type BlanketRow struct {
 	BlanketVsC float64 // t_bl / C_V(SRW): Ding–Lee–Peres says O(1)
 }
 
+func blanketTimePlan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]BlanketRow, *Table, error)) {
+	deg := 4
+	base := []int{200, 400}
+	// Four measurements per point, each an arm on the same frozen
+	// instances; the step counts travel in Measurement.Vertex except
+	// for the E-process edge cover.
+	blanketArm := Arm{Name: "blanket", Run: func(trial int, g *graph.Graph, r *rng.Rand, sc *walk.CoverScratch, maxSteps int64) (Measurement, error) {
+		bl, err := walk.BlanketTime(g, r.Rand, 0, 0.5, maxSteps)
+		if err != nil {
+			return Measurement{}, err
+		}
+		return Measurement{Vertex: float64(bl)}, nil
+	}}
+	visitAllArm := Arm{Name: "visit-all-r", Run: func(trial int, g *graph.Graph, r *rng.Rand, sc *walk.CoverScratch, maxSteps int64) (Measurement, error) {
+		va, err := walk.VisitAllAtLeast(g, r.Rand, 0, deg, maxSteps)
+		if err != nil {
+			return Measurement{}, err
+		}
+		return Measurement{Vertex: float64(va)}, nil
+	}}
+	plan := &SweepPlan{Config: cfg.config()}
+	var ns []int
+	for _, b := range base {
+		n := b * cfg.Scale
+		ns = append(ns, n)
+		plan.Points = append(plan.Points, PointSpec{
+			Key:   fmt.Sprintf("eq4 n=%d", n),
+			Salt:  Salt(saltEQ4, uint64(n)),
+			Graph: regularPointGraph(n, deg),
+			Arms:  []Arm{srwArmV("srw"), blanketArm, visitAllArm, eprocessArm("eprocess")},
+		})
+	}
+	finish := func(points []PointResult) ([]BlanketRow, *Table, error) {
+		var rows []BlanketRow
+		for i, pt := range points {
+			n := ns[i]
+			m := float64(n * deg / 2)
+			row := BlanketRow{
+				N:         n,
+				SRWCover:  pt.Arms[0].VertexStats.Mean,
+				Blanket:   pt.Arms[1].VertexStats.Mean,
+				VisitAllR: pt.Arms[2].VertexStats.Mean,
+				EdgeCover: pt.Arms[3].EdgeStats.Mean,
+			}
+			row.Eq4Bound = m + row.SRWCover
+			row.BlanketVsC = row.Blanket / row.SRWCover
+			rows = append(rows, row)
+		}
+		t := NewTable("EQ4: blanket time, T(r) and the E-process edge cover (4-regular)",
+			"n", "C_V(SRW)", "t_bl(0.5)", "T(r)", "C_E(E)", "m+C_V(SRW)", "t_bl/C_V")
+		for _, r := range rows {
+			t.AddRow(r.N, r.SRWCover, r.Blanket, r.VisitAllR, r.EdgeCover, r.Eq4Bound, r.BlanketVsC)
+		}
+		return rows, t, nil
+	}
+	return plan, finish
+}
+
 // ExpBlanketTime measures the quantities in the paper's eq. (4)
 // argument: the blanket time t_bl(δ) and the all-vertices-r-times time
 // T(r) are both O(C_V(SRW)), which bounds the E-process edge cover by
 // O(m + C_V(SRW)).
 func ExpBlanketTime(cfg ExpConfig) ([]BlanketRow, *Table, error) {
-	cfg = cfg.withDefaults()
-	deg := 4
-	base := []int{200, 400}
-	var rows []BlanketRow
-	for _, b := range base {
-		n := b * cfg.Scale
-		stream := rng.NewStream(rng.KindXoshiro, cfg.Seed^uint64(n)<<4)
-		var srwSum, blSum, vaSum, ecSum float64
-		for i := 0; i < cfg.Trials; i++ {
-			r := rand.New(stream.Next())
-			g, err := gen.RandomRegularSW(r, n, deg)
-			if err != nil {
-				return nil, nil, err
-			}
-			srw := walk.NewSimple(g, r, 0)
-			s, err := walk.VertexCoverSteps(srw, 0)
-			if err != nil {
-				return nil, nil, err
-			}
-			srwSum += float64(s)
-			bl, err := walk.BlanketTime(g, r, 0, 0.5, 0)
-			if err != nil {
-				return nil, nil, err
-			}
-			blSum += float64(bl)
-			va, err := walk.VisitAllAtLeast(g, r, 0, deg, 0)
-			if err != nil {
-				return nil, nil, err
-			}
-			vaSum += float64(va)
-			e := walk.NewEProcess(g, r, nil, 0)
-			ec, err := walk.EdgeCoverSteps(e, 0)
-			if err != nil {
-				return nil, nil, err
-			}
-			ecSum += float64(ec)
-		}
-		tr := float64(cfg.Trials)
-		m := float64(n * deg / 2)
-		row := BlanketRow{
-			N:         n,
-			SRWCover:  srwSum / tr,
-			Blanket:   blSum / tr,
-			VisitAllR: vaSum / tr,
-			EdgeCover: ecSum / tr,
-			Eq4Bound:  m + srwSum/tr,
-		}
-		row.BlanketVsC = row.Blanket / row.SRWCover
-		rows = append(rows, row)
+	plan, finish := blanketTimePlan(cfg.withDefaults())
+	points, err := plan.Run()
+	if err != nil {
+		return nil, nil, err
 	}
-	t := NewTable("EQ4: blanket time, T(r) and the E-process edge cover (4-regular)",
-		"n", "C_V(SRW)", "t_bl(0.5)", "T(r)", "C_E(E)", "m+C_V(SRW)", "t_bl/C_V")
-	for _, r := range rows {
-		t.AddRow(r.N, r.SRWCover, r.Blanket, r.VisitAllR, r.EdgeCover, r.Eq4Bound, r.BlanketVsC)
-	}
-	return rows, t, nil
+	return finish(points)
 }
 
 // Lemma13Row compares the measured probability that a vertex set S
@@ -95,67 +104,120 @@ type Lemma13Row struct {
 	Bound    float64 // exp(−t·d(S)·gap/(14m)), 1 if hypotheses unmet
 }
 
+func lemma13Plan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]Lemma13Row, *Table, error)) {
+	// The walk count below derives from cfg.Trials; default here so the
+	// builder is safe even if a caller skips withDefaults.
+	cfg = cfg.withDefaults()
+	n := 200 * cfg.Scale
+	deg := 4
+	radii := []int{0, 1, 2}
+	walks := 200 * cfg.Trials
+	// One sampled instance (Trials: 1) shared by one arm per ball
+	// radius. The lazy spectral gap is computed once on the shared
+	// graph; arms of a trial run sequentially, but sync.Once keeps the
+	// memo correct under any future scheduling.
+	var (
+		gapOnce sync.Once
+		gapVal  float64
+		gapErr  error
+	)
+	lazyGapOf := func(g *graph.Graph) (float64, error) {
+		gapOnce.Do(func() {
+			gap, err := spectral.ComputeGap(g, spectral.Options{Tol: 1e-8})
+			if err != nil {
+				gapErr = err
+				return
+			}
+			gapVal = spectral.LazyGap(gap).Value
+		})
+		return gapVal, gapErr
+	}
+	type sideRow struct {
+		setSize int
+		tSteps  int64
+		bound   float64
+	}
+	side := make([]sideRow, len(radii))
+	var arms []Arm
+	for ri, radius := range radii {
+		ri, radius := ri, radius
+		arms = append(arms, Arm{Name: fmt.Sprintf("radius=%d", radius), Run: func(trial int, g *graph.Graph, r *rng.Rand, sc *walk.CoverScratch, maxSteps int64) (Measurement, error) {
+			gapValue, err := lazyGapOf(g)
+			if err != nil {
+				return Measurement{}, err
+			}
+			m := g.M()
+			// S is a BFS ball around a vertex far from the walk's start
+			// (vertex n−1; the start is 0), matching the connected blue
+			// fragments of Lemma 15.
+			ball, _ := g.BallAround(g.N()-1, radius)
+			dS := g.DegreeOf(ball)
+			tSteps := int64(math.Ceil(7 * float64(m) / (float64(dS) * gapValue)))
+			inS := make([]bool, g.N())
+			for _, v := range ball {
+				inS[v] = true
+			}
+			missed := 0
+			for w := 0; w < walks; w++ {
+				lazy := walk.NewLazy(g, r, 0)
+				hit := false
+				for step := int64(0); step < tSteps; step++ {
+					_, v := lazy.Step()
+					if inS[v] {
+						hit = true
+						break
+					}
+				}
+				if !hit {
+					missed++
+				}
+			}
+			side[ri] = sideRow{
+				setSize: len(ball),
+				tSteps:  tSteps,
+				bound:   core.UnvisitedSetProbBound(g.N(), m, dS, gapValue, float64(tSteps)),
+			}
+			return Measurement{Vertex: float64(missed) / float64(walks)}, nil
+		}})
+	}
+	plan := &SweepPlan{Config: cfg.config(), Points: []PointSpec{{
+		Key:    fmt.Sprintf("lemma13 n=%d", n),
+		Salt:   Salt(saltLEMMA13, uint64(n)),
+		Graph:  regularPointGraph(n, deg),
+		Arms:   arms,
+		Trials: 1,
+	}}}
+	finish := func(points []PointResult) ([]Lemma13Row, *Table, error) {
+		var rows []Lemma13Row
+		for ri := range radii {
+			rows = append(rows, Lemma13Row{
+				N:        n,
+				SetSize:  side[ri].setSize,
+				T:        side[ri].tSteps,
+				Measured: points[0].Arms[ri].VertexStats.Mean,
+				Bound:    side[ri].bound,
+			})
+		}
+		t := NewTable("LEMMA13: Pr(S unvisited at t) vs the exponential bound (lazy walk, 4-regular)",
+			"n", "|S|", "t", "measured", "bound")
+		for _, row := range rows {
+			t.AddRow(row.N, row.SetSize, row.T, row.Measured, row.Bound)
+		}
+		return rows, t, nil
+	}
+	return plan, finish
+}
+
 // ExpLemma13 verifies the engine of the paper's main proof: for a set
 // S with d(S) ≤ m/(6·log n) and t ≥ 7m/(d(S)·gap), the probability a
 // random walk misses S for t steps is at most
 // exp(−t·d(S)·gap/(14m)). S is taken as a BFS ball around a fixed
 // vertex, matching the connected blue fragments of Lemma 15.
 func ExpLemma13(cfg ExpConfig) ([]Lemma13Row, *Table, error) {
-	cfg = cfg.withDefaults()
-	n := 200 * cfg.Scale
-	deg := 4
-	stream := rng.NewStream(rng.KindXoshiro, cfg.Seed^0x13)
-	r := rand.New(stream.Next())
-	g, err := gen.RandomRegularSW(r, n, deg)
+	plan, finish := lemma13Plan(cfg.withDefaults())
+	points, err := plan.Run()
 	if err != nil {
 		return nil, nil, err
 	}
-	gap, err := spectral.ComputeGap(g, spectral.Options{Tol: 1e-8})
-	if err != nil {
-		return nil, nil, err
-	}
-	lazyGapValue := spectral.LazyGap(gap).Value
-	m := g.M()
-
-	// Sets: BFS balls of radius 0, 1, 2 around a vertex far from the
-	// walk's start (vertex n−1; the start is 0).
-	var rows []Lemma13Row
-	trials := 200 * cfg.Trials
-	for _, radius := range []int{0, 1, 2} {
-		ball, _ := g.BallAround(n-1, radius)
-		dS := g.DegreeOf(ball)
-		tSteps := int64(math.Ceil(7 * float64(m) / (float64(dS) * lazyGapValue)))
-		inS := make([]bool, n)
-		for _, v := range ball {
-			inS[v] = true
-		}
-		missed := 0
-		for trial := 0; trial < trials; trial++ {
-			w := walk.NewLazy(g, rand.New(stream.Next()), 0)
-			hit := false
-			for step := int64(0); step < tSteps; step++ {
-				_, v := w.Step()
-				if inS[v] {
-					hit = true
-					break
-				}
-			}
-			if !hit {
-				missed++
-			}
-		}
-		rows = append(rows, Lemma13Row{
-			N:        n,
-			SetSize:  len(ball),
-			T:        tSteps,
-			Measured: float64(missed) / float64(trials),
-			Bound:    core.UnvisitedSetProbBound(n, m, dS, lazyGapValue, float64(tSteps)),
-		})
-	}
-	t := NewTable("LEMMA13: Pr(S unvisited at t) vs the exponential bound (lazy walk, 4-regular)",
-		"n", "|S|", "t", "measured", "bound")
-	for _, row := range rows {
-		t.AddRow(row.N, row.SetSize, row.T, row.Measured, row.Bound)
-	}
-	return rows, t, nil
+	return finish(points)
 }

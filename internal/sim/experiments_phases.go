@@ -1,10 +1,10 @@
 package sim
 
 import (
-	"math/rand"
+	"fmt"
 	"sort"
 
-	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/rng"
 	"repro/internal/walk"
 )
@@ -19,63 +19,103 @@ type PhaseRow struct {
 	LongestTail float64 // mean length of the longest non-first phase / m
 }
 
+func phaseStructurePlan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]PhaseRow, *Table, error)) {
+	// The side arrays below are sized from cfg.Trials; default here so
+	// the builder is safe even if a caller skips withDefaults.
+	cfg = cfg.withDefaults()
+	n := 500 * cfg.Scale
+	degs := []int{3, 4, 6}
+	type sample struct {
+		phases      float64
+		firstFrac   float64
+		medianLen   float64
+		longestTail float64
+	}
+	// Phase statistics are richer than a Measurement, so the arm fills
+	// a trial-indexed side array (each trial owns its slot; scheduling
+	// cannot reorder or race the writes).
+	samples := make([][]sample, len(degs))
+	plan := &SweepPlan{Config: cfg.config()}
+	var nns []int
+	for di, deg := range degs {
+		nn := n
+		if nn*deg%2 != 0 {
+			nn++
+		}
+		nns = append(nns, nn)
+		samples[di] = make([]sample, cfg.Trials)
+		out := samples[di]
+		plan.Points = append(plan.Points, PointSpec{
+			Key:   fmt.Sprintf("phases d=%d", deg),
+			Salt:  Salt(saltPHASES, uint64(deg)),
+			Graph: regularPointGraph(nn, deg),
+			Arms: []Arm{{Name: "eprocess-phases", Run: func(trial int, g *graph.Graph, r *rng.Rand, sc *walk.CoverScratch, maxSteps int64) (Measurement, error) {
+				e := walk.NewEProcess(g, r, nil, 0)
+				e.RecordPhases(true)
+				if _, err := sc.EdgeCoverSteps(e, maxSteps); err != nil {
+					return Measurement{}, err
+				}
+				lens := e.BluePhaseLengths()
+				if len(lens) == 0 {
+					return Measurement{}, nil
+				}
+				m := float64(g.M())
+				s := sample{
+					phases:    float64(len(lens)),
+					firstFrac: float64(lens[0]) / m,
+				}
+				rest := append([]int64(nil), lens[1:]...)
+				if len(rest) > 0 {
+					sort.Slice(rest, func(i, j int) bool { return rest[i] < rest[j] })
+					s.medianLen = float64(rest[len(rest)/2])
+					s.longestTail = float64(rest[len(rest)-1]) / m
+				}
+				out[trial] = s
+				return Measurement{Vertex: s.phases}, nil
+			}}},
+		})
+	}
+	finish := func(points []PointResult) ([]PhaseRow, *Table, error) {
+		var rows []PhaseRow
+		for di, deg := range degs {
+			var acc sample
+			for _, s := range samples[di] {
+				acc.phases += s.phases
+				acc.firstFrac += s.firstFrac
+				acc.medianLen += s.medianLen
+				acc.longestTail += s.longestTail
+			}
+			tr := float64(len(samples[di]))
+			rows = append(rows, PhaseRow{
+				Degree:      deg,
+				N:           nns[di],
+				M:           points[di].Rep.M(),
+				Phases:      acc.phases / tr,
+				FirstFrac:   acc.firstFrac / tr,
+				MedianLen:   acc.medianLen / tr,
+				LongestTail: acc.longestTail / tr,
+			})
+		}
+		t := NewTable("PHASES: blue-phase decomposition of the E-process",
+			"degree", "n", "m", "phases", "first/m", "median-rest", "longest-rest/m")
+		for _, r := range rows {
+			t.AddRow(r.Degree, r.N, r.M, r.Phases, r.FirstFrac, r.MedianLen, r.LongestTail)
+		}
+		return rows, t, nil
+	}
+	return plan, finish
+}
+
 // ExpPhaseStructure measures the blue-phase decomposition the proofs
 // build on: on even-degree graphs the first blue phase is a macroscopic
 // Euler-like sweep and the residue fragments into short phases; on odd
 // degrees phases terminate early (no parity guarantee), so the count is
 // much larger and the first phase smaller.
 func ExpPhaseStructure(cfg ExpConfig) ([]PhaseRow, *Table, error) {
-	cfg = cfg.withDefaults()
-	n := 500 * cfg.Scale
-	var rows []PhaseRow
-	for _, deg := range []int{3, 4, 6} {
-		nn := n
-		if nn*deg%2 != 0 {
-			nn++
-		}
-		stream := rng.NewStream(rng.KindXoshiro, cfg.Seed^uint64(deg)<<36)
-		var phases, firstFrac, medianLen, longestTail float64
-		m := 0
-		for trial := 0; trial < cfg.Trials; trial++ {
-			r := rand.New(stream.Next())
-			g, err := gen.RandomRegularSW(r, nn, deg)
-			if err != nil {
-				return nil, nil, err
-			}
-			m = g.M()
-			e := walk.NewEProcess(g, r, nil, 0)
-			e.RecordPhases(true)
-			if _, err := walk.EdgeCoverSteps(e, 0); err != nil {
-				return nil, nil, err
-			}
-			lens := e.BluePhaseLengths()
-			if len(lens) == 0 {
-				continue
-			}
-			phases += float64(len(lens))
-			firstFrac += float64(lens[0]) / float64(m)
-			rest := append([]int64(nil), lens[1:]...)
-			if len(rest) > 0 {
-				sort.Slice(rest, func(i, j int) bool { return rest[i] < rest[j] })
-				medianLen += float64(rest[len(rest)/2])
-				longestTail += float64(rest[len(rest)-1]) / float64(m)
-			}
-		}
-		tr := float64(cfg.Trials)
-		rows = append(rows, PhaseRow{
-			Degree:      deg,
-			N:           nn,
-			M:           m,
-			Phases:      phases / tr,
-			FirstFrac:   firstFrac / tr,
-			MedianLen:   medianLen / tr,
-			LongestTail: longestTail / tr,
-		})
+	plan, finish := phaseStructurePlan(cfg.withDefaults())
+	points, err := plan.Run()
+	if err != nil {
+		return nil, nil, err
 	}
-	t := NewTable("PHASES: blue-phase decomposition of the E-process",
-		"degree", "n", "m", "phases", "first/m", "median-rest", "longest-rest/m")
-	for _, r := range rows {
-		t.AddRow(r.Degree, r.N, r.M, r.Phases, r.FirstFrac, r.MedianLen, r.LongestTail)
-	}
-	return rows, t, nil
+	return finish(points)
 }

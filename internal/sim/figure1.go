@@ -2,10 +2,8 @@ package sim
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
-	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -59,60 +57,89 @@ func (c Figure1Config) withDefaults() Figure1Config {
 	return c
 }
 
+// figure1Plan lays the whole (degree, n) grid out as one sweep, so
+// every cell of the figure shares the point-parallel worker pool.
+func figure1Plan(cfg Figure1Config) (*SweepPlan, func([]PointResult) ([]Figure1Series, error), error) {
+	plan := &SweepPlan{Config: Config{
+		Seed:    cfg.Seed,
+		Trials:  cfg.Trials,
+		Workers: cfg.Workers,
+		Kind:    cfg.Kind,
+	}}
+	type cell struct{ d, n int }
+	var cells []cell
+	for _, d := range cfg.Degrees {
+		for _, n := range cfg.Ns {
+			if d >= n || n*d%2 != 0 {
+				return nil, nil, fmt.Errorf("sim: infeasible Figure 1 cell d=%d n=%d", d, n)
+			}
+			cells = append(cells, cell{d, n})
+			plan.Points = append(plan.Points, PointSpec{
+				Key:   fmt.Sprintf("figure1 d=%d n=%d", d, n),
+				Salt:  Salt(saltFIG1, uint64(d), uint64(n)),
+				Graph: regularPointGraph(n, d),
+				Arms: []Arm{VertexArm("eprocess", func(g *graph.Graph, r *rng.Rand, start int) walk.Process {
+					return walk.NewEProcess(g, r, walk.Uniform{}, start)
+				})},
+			})
+		}
+	}
+	finish := func(points []PointResult) ([]Figure1Series, error) {
+		byDegree := make(map[int]*Figure1Series)
+		var out []Figure1Series
+		order := make([]int, 0, len(cfg.Degrees))
+		for i, c := range cells {
+			s := byDegree[c.d]
+			if s == nil {
+				s = &Figure1Series{Degree: c.d}
+				byDegree[c.d] = s
+				order = append(order, c.d)
+			}
+			res := points[i].Arms[0]
+			fn := float64(c.n)
+			s.Points = append(s.Points, Figure1Point{
+				Degree:     c.d,
+				N:          c.n,
+				Normalized: res.VertexStats.Mean / fn,
+				StdErr:     res.VertexStats.StdErr / fn,
+				Trials:     cfg.Trials,
+			})
+		}
+		for _, d := range order {
+			s := byDegree[d]
+			if len(s.Points) >= 3 {
+				ns := make([]float64, len(s.Points))
+				ys := make([]float64, len(s.Points))
+				for i, p := range s.Points {
+					ns[i] = float64(p.N)
+					ys[i] = p.Normalized * float64(p.N)
+				}
+				growth, err := stats.ClassifyGrowth(ns, ys)
+				if err == nil {
+					s.Growth = growth
+					s.HasFit = true
+					s.Verdict = growth.Verdict
+				}
+			}
+			out = append(out, *s)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Degree < out[j].Degree })
+		return out, nil
+	}
+	return plan, finish, nil
+}
+
 // Figure1 regenerates the paper's Figure 1: the normalised vertex cover
 // time C_V/n of the uniform-rule E-process on random d-regular graphs,
 // as a function of n, for each degree.
 func Figure1(cfg Figure1Config) ([]Figure1Series, error) {
-	cfg = cfg.withDefaults()
-	var out []Figure1Series
-	for _, d := range cfg.Degrees {
-		series := Figure1Series{Degree: d}
-		ns := make([]float64, 0, len(cfg.Ns))
-		ys := make([]float64, 0, len(cfg.Ns))
-		for _, n := range cfg.Ns {
-			if d >= n || n*d%2 != 0 {
-				return nil, fmt.Errorf("sim: infeasible Figure 1 cell d=%d n=%d", d, n)
-			}
-			pt, err := figure1Point(cfg, d, n)
-			if err != nil {
-				return nil, err
-			}
-			series.Points = append(series.Points, pt)
-			ns = append(ns, float64(n))
-			ys = append(ys, pt.Normalized*float64(n))
-		}
-		if len(series.Points) >= 3 {
-			growth, err := stats.ClassifyGrowth(ns, ys)
-			if err == nil {
-				series.Growth = growth
-				series.HasFit = true
-				series.Verdict = growth.Verdict
-			}
-		}
-		out = append(out, series)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Degree < out[j].Degree })
-	return out, nil
-}
-
-func figure1Point(cfg Figure1Config, d, n int) (Figure1Point, error) {
-	seed := cfg.Seed ^ (uint64(d) << 32) ^ uint64(n)
-	res, err := RunVertexOnly(
-		Config{Seed: seed, Trials: cfg.Trials, Workers: cfg.Workers, Kind: cfg.Kind},
-		func(r *rand.Rand) (*graph.Graph, error) { return gen.RandomRegularSW(r, n, d) },
-		func(g *graph.Graph, r *rng.Rand, start int) walk.Process {
-			return walk.NewEProcess(g, r, walk.Uniform{}, start)
-		},
-	)
+	plan, finish, err := figure1Plan(cfg.withDefaults())
 	if err != nil {
-		return Figure1Point{}, fmt.Errorf("sim: figure1 d=%d n=%d: %w", d, n, err)
+		return nil, err
 	}
-	fn := float64(n)
-	return Figure1Point{
-		Degree:     d,
-		N:          n,
-		Normalized: res.VertexStats.Mean / fn,
-		StdErr:     res.VertexStats.StdErr / fn,
-		Trials:     cfg.Trials,
-	}, nil
+	points, err := plan.Run()
+	if err != nil {
+		return nil, err
+	}
+	return finish(points)
 }

@@ -2,10 +2,8 @@ package sim
 
 import (
 	"errors"
-	"fmt"
 	"math/rand"
 	"runtime"
-	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/rng"
@@ -25,15 +23,15 @@ type GraphFactory func(r *rand.Rand) (*graph.Graph, error)
 // processes that need other distributions.
 type ProcessFactory func(g *graph.Graph, r *rng.Rand, start int) walk.Process
 
-// Config controls a trial batch.
+// Config controls a trial batch or a sweep.
 type Config struct {
 	// Seed is the master seed; every derived quantity is a pure
-	// function of it.
+	// function of it (see the seed-derivation contract in sweep.go).
 	Seed uint64
-	// Trials is the number of independent trials (default 5, the
-	// paper's per-point count).
+	// Trials is the number of independent trials per point (default 5,
+	// the paper's per-point count).
 	Trials int
-	// Workers bounds trial parallelism (default GOMAXPROCS).
+	// Workers bounds (point, trial) parallelism (default GOMAXPROCS).
 	Workers int
 	// MaxSteps caps each trial's walk (default: driver default).
 	MaxSteps int64
@@ -68,111 +66,38 @@ type Result struct {
 	EdgeStats    stats.Summary
 }
 
-// runTrials derives one independent generator per trial from the master
-// seed, then fans the trial indices out over a pool of cfg.Workers
-// goroutines. Each worker owns a single walk.CoverScratch for its whole
-// lifetime, so the per-trial seen-bitmap allocations of the cover
-// drivers are paid once per worker rather than once per trial.
-func runTrials(cfg Config, run func(i int, r *rng.Rand, sc *walk.CoverScratch) error) error {
-	stream := rng.NewStream(cfg.Kind, cfg.Seed)
-	sources := make([]*rng.Rand, cfg.Trials)
-	for i := range sources {
-		sources[i] = stream.NextFastRand()
+// runSinglePoint executes a one-point, one-arm plan — the legacy
+// trial-batch shape Run and RunVertexOnly expose.
+func runSinglePoint(cfg Config, gf GraphFactory, arm Arm) (Result, error) {
+	if gf == nil || arm.Run == nil {
+		return Result{}, errors.New("sim: nil factory")
 	}
-	workers := cfg.Workers
-	if workers > cfg.Trials {
-		workers = cfg.Trials
+	plan := SweepPlan{
+		Config: cfg,
+		Points: []PointSpec{{Key: "run", Salt: Salt(saltRun), Graph: gf, Arms: []Arm{arm}}},
 	}
-	trials := make(chan int)
-	errs := make([]error, cfg.Trials)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var sc walk.CoverScratch
-			for i := range trials {
-				errs[i] = run(i, sources[i], &sc)
-			}
-		}()
+	points, err := plan.Run()
+	if err != nil {
+		return Result{}, err
 	}
-	for i := 0; i < cfg.Trials; i++ {
-		trials <- i
-	}
-	close(trials)
-	wg.Wait()
-	return errors.Join(errs...)
+	return points[0].Arms[0], nil
 }
 
 // Run executes cfg.Trials independent trials: build a graph, build the
 // process at start vertex 0, and measure vertex and edge cover times
 // from a single trajectory per trial.
 func Run(cfg Config, gf GraphFactory, pf ProcessFactory) (Result, error) {
-	cfg = cfg.withDefaults()
-	if gf == nil || pf == nil {
+	if pf == nil {
 		return Result{}, errors.New("sim: nil factory")
 	}
-	measurements := make([]Measurement, cfg.Trials)
-	err := runTrials(cfg, func(i int, r *rng.Rand, sc *walk.CoverScratch) error {
-		g, err := gf(r.Rand)
-		if err != nil {
-			return fmt.Errorf("sim: trial %d graph: %w", i, err)
-		}
-		p := pf(g, r, 0)
-		ct, err := sc.Cover(p, cfg.MaxSteps)
-		if err != nil {
-			return fmt.Errorf("sim: trial %d cover: %w", i, err)
-		}
-		measurements[i] = Measurement{Vertex: float64(ct.Vertex), Edge: float64(ct.Edge)}
-		return nil
-	})
-	if err != nil {
-		return Result{}, err
-	}
-	res := Result{Measurements: measurements}
-	vs := make([]float64, cfg.Trials)
-	es := make([]float64, cfg.Trials)
-	for i, m := range measurements {
-		vs[i] = m.Vertex
-		es[i] = m.Edge
-	}
-	if res.VertexStats, err = stats.Summarize(vs); err != nil {
-		return Result{}, err
-	}
-	if res.EdgeStats, err = stats.Summarize(es); err != nil {
-		return Result{}, err
-	}
-	return res, nil
+	return runSinglePoint(cfg, gf, CoverArm("cover", pf))
 }
 
 // RunVertexOnly is Run but measures only vertex cover (cheaper when the
 // edge cover tail is irrelevant, e.g. SRW baselines on large graphs).
 func RunVertexOnly(cfg Config, gf GraphFactory, pf ProcessFactory) (Result, error) {
-	cfg = cfg.withDefaults()
-	if gf == nil || pf == nil {
+	if pf == nil {
 		return Result{}, errors.New("sim: nil factory")
 	}
-	vs := make([]float64, cfg.Trials)
-	err := runTrials(cfg, func(i int, r *rng.Rand, sc *walk.CoverScratch) error {
-		g, err := gf(r.Rand)
-		if err != nil {
-			return fmt.Errorf("sim: trial %d graph: %w", i, err)
-		}
-		p := pf(g, r, 0)
-		steps, err := sc.VertexCoverSteps(p, cfg.MaxSteps)
-		if err != nil {
-			return fmt.Errorf("sim: trial %d cover: %w", i, err)
-		}
-		vs[i] = float64(steps)
-		return nil
-	})
-	if err != nil {
-		return Result{}, err
-	}
-	res := Result{Measurements: make([]Measurement, cfg.Trials)}
-	for i, v := range vs {
-		res.Measurements[i] = Measurement{Vertex: v}
-	}
-	res.VertexStats, err = stats.Summarize(vs)
-	return res, err
+	return runSinglePoint(cfg, gf, VertexArm("vertex-cover", pf))
 }

@@ -1,0 +1,326 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/walk"
+)
+
+// Seed-derivation contract
+//
+// Every random quantity in the experiment harness is a pure function of
+// (master seed, point salt, trial index), derived exclusively through
+// deriveSeed below. Call sites must not hand-mix seeds with ^/<</| —
+// ad-hoc expressions have already produced one operator-precedence bug
+// that made distinct experiment points share seeds. Point salts are
+// built with Salt from a per-experiment namespace constant (saltTHM1,
+// saltCOMPARE, ...) plus the point's identifying coordinates, and the
+// sweep_test.go regression test asserts that every seed derived across
+// every experiment's plan is pairwise distinct.
+
+// mix64 is the SplitMix64 output finalizer (Steele, Lea, Flood): an
+// avalanching bijection on uint64.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// splitMixGamma is SplitMix64's Weyl-sequence increment; absorbing each
+// word with `mix64(h ^ (w + gamma))` keeps zero words from fixing the
+// state the way a plain xor-fold would.
+const splitMixGamma = 0x9e3779b97f4a7c15
+
+// deriveSeed is the single audited seed-derivation function of the
+// harness: it maps (master seed, point salt, trial index) to the seed
+// of one concrete generator by absorbing the three words through the
+// SplitMix64 finalizer. Distinct inputs give distinct, uncorrelated
+// seeds up to the collision resistance of the mixer; the regression
+// test in sweep_test.go checks distinctness over every derived seed of
+// every experiment.
+func deriveSeed(master, pointSalt, trial uint64) uint64 {
+	h := mix64(master + splitMixGamma)
+	h = mix64(h ^ (pointSalt + splitMixGamma))
+	h = mix64(h ^ (trial + splitMixGamma))
+	return h
+}
+
+// Salt folds the identifying coordinates of an experiment point into a
+// point salt for deriveSeed. The first part is conventionally the
+// experiment's namespace constant so that points of different
+// experiments can never share a salt by writing the same coordinates.
+func Salt(parts ...uint64) uint64 {
+	h := mix64(uint64(len(parts)) + splitMixGamma)
+	for _, p := range parts {
+		h = mix64(h ^ (p + splitMixGamma))
+	}
+	return h
+}
+
+// Per-experiment salt namespaces. Every PointSpec salt starts with one
+// of these, so seed streams are disjoint across experiments even when
+// their points share coordinates (e.g. the same n sweep).
+const (
+	saltRun uint64 = iota + 1 // Run / RunVertexOnly single-point batches
+	saltTHM1
+	saltRADZIK
+	saltCOR2
+	saltEQ3
+	saltTHM3
+	saltCOR4
+	saltHCUBE
+	saltSTAR
+	saltRULEA
+	saltP1P2
+	saltGRW
+	saltCOMPARE
+	saltABLATION
+	saltGROWTH
+	saltBIAS
+	saltEQ4
+	saltLEMMA13
+	saltPHASES
+	saltDEGSEQ
+	saltFIG1
+)
+
+// ArmFunc measures one arm of an experiment point on one trial. g is
+// the trial's shared frozen graph (read-only: the same instance is
+// handed to every arm of the trial, and trial 0's graph outlives the
+// sweep as the point's representative instance), r is the arm's private
+// generator, and sc is the worker's reusable cover scratch. The
+// returned Measurement feeds the arm's Vertex/Edge summaries; arms with
+// richer outputs may additionally write trial-indexed side arrays
+// captured by closure (each trial owns its slot, so no locking is
+// needed and results are independent of worker scheduling).
+type ArmFunc func(trial int, g *graph.Graph, r *rng.Rand, sc *walk.CoverScratch, maxSteps int64) (Measurement, error)
+
+// Arm is one process (or measurement) compared on a point's shared
+// per-trial graphs.
+type Arm struct {
+	Name string
+	Run  ArmFunc
+}
+
+// CoverArm adapts a ProcessFactory into an arm measuring vertex and
+// edge cover from a single trajectory.
+func CoverArm(name string, pf ProcessFactory) Arm {
+	return Arm{Name: name, Run: func(trial int, g *graph.Graph, r *rng.Rand, sc *walk.CoverScratch, maxSteps int64) (Measurement, error) {
+		ct, err := sc.Cover(pf(g, r, 0), maxSteps)
+		if err != nil {
+			return Measurement{}, err
+		}
+		return Measurement{Vertex: float64(ct.Vertex), Edge: float64(ct.Edge)}, nil
+	}}
+}
+
+// VertexArm adapts a ProcessFactory into an arm measuring vertex cover
+// only (cheaper when the edge-cover tail is irrelevant).
+func VertexArm(name string, pf ProcessFactory) Arm {
+	return Arm{Name: name, Run: func(trial int, g *graph.Graph, r *rng.Rand, sc *walk.CoverScratch, maxSteps int64) (Measurement, error) {
+		steps, err := sc.VertexCoverSteps(pf(g, r, 0), maxSteps)
+		if err != nil {
+			return Measurement{}, err
+		}
+		return Measurement{Vertex: float64(steps)}, nil
+	}}
+}
+
+// PointSpec is one experiment point of a sweep: a graph family cell
+// (one (n, d) value, one named family, ...) plus the arms compared on
+// it. Each trial generates one graph, freezes it into its CSR layout,
+// and hands the same instance to every arm, so compared processes see
+// identical instances and the generation cost is paid once per trial
+// rather than once per arm.
+type PointSpec struct {
+	// Key names the point in error messages.
+	Key string
+	// Salt is the point's seed salt, built with Salt from the owning
+	// experiment's namespace constant and the point coordinates.
+	Salt uint64
+	// Graph builds the trial's instance from the trial's private graph
+	// generator.
+	Graph GraphFactory
+	// Arms are measured in order on the trial's shared frozen graph.
+	// A point may have zero arms when only the representative instance
+	// is wanted (structural experiments).
+	Arms []Arm
+	// Trials overrides the plan-level trial count when positive.
+	Trials int
+	// MaxSteps overrides the plan-level step budget when positive.
+	MaxSteps int64
+}
+
+func (pt *PointSpec) trials(cfg Config) int {
+	if pt.Trials > 0 {
+		return pt.Trials
+	}
+	return cfg.Trials
+}
+
+func (pt *PointSpec) maxSteps(cfg Config) int64 {
+	if pt.MaxSteps > 0 {
+		return pt.MaxSteps
+	}
+	return cfg.MaxSteps
+}
+
+// graphSeed and armSeed are the only two derivation sites of the
+// harness. The graph stream occupies arm slot 0 of the point's salt and
+// the arms occupy slots 1..len(Arms), so every (point, arm, trial)
+// triple owns a disjoint generator.
+func (pt *PointSpec) graphSeed(cfg Config, trial int) uint64 {
+	return deriveSeed(cfg.Seed, Salt(pt.Salt, 0), uint64(trial))
+}
+
+func (pt *PointSpec) armSeed(cfg Config, arm, trial int) uint64 {
+	return deriveSeed(cfg.Seed, Salt(pt.Salt, uint64(arm)+1), uint64(trial))
+}
+
+// PointResult aggregates one point of a completed sweep.
+type PointResult struct {
+	// Key echoes the PointSpec.
+	Key string
+	// Rep is trial 0's frozen graph — the representative instance for
+	// structural post-processing (spectral gaps, girth, ℓ-bounds). It
+	// is literally the graph arm measurements ran on, not a re-rolled
+	// lookalike.
+	Rep *graph.Graph
+	// Arms holds one Result per PointSpec arm, in order.
+	Arms []Result
+}
+
+// SweepPlan is a point-level sweep: a set of PointSpecs executed on one
+// shared worker pool. The scheduling unit is a (point, trial) pair, so
+// points run concurrently with each other as well as with their own
+// trials — a sweep of many cheap points saturates the pool even when
+// each point has few trials. Results are a pure function of the
+// Config's master seed: every generator is derived via deriveSeed, so
+// tables are byte-identical across Workers settings.
+type SweepPlan struct {
+	Config Config
+	Points []PointSpec
+}
+
+// Seeds enumerates every generator seed the plan would derive, in
+// deterministic order. The sweep_test.go regression test asserts global
+// pairwise distinctness across all experiments.
+func (pl *SweepPlan) Seeds() []uint64 {
+	cfg := pl.Config.withDefaults()
+	var out []uint64
+	for i := range pl.Points {
+		pt := &pl.Points[i]
+		for trial := 0; trial < pt.trials(cfg); trial++ {
+			out = append(out, pt.graphSeed(cfg, trial))
+			for ai := range pt.Arms {
+				out = append(out, pt.armSeed(cfg, ai, trial))
+			}
+		}
+	}
+	return out
+}
+
+// runUnits fans n independent work units out over a pool of `workers`
+// goroutines, each owning one walk.CoverScratch for its lifetime, and
+// joins every unit's error — a failing unit never masks the others.
+func runUnits(workers, n int, fn func(unit int, sc *walk.CoverScratch) error) error {
+	if workers > n {
+		workers = n
+	}
+	units := make(chan int)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sc walk.CoverScratch
+			for u := range units {
+				errs[u] = fn(u, &sc)
+			}
+		}()
+	}
+	for u := 0; u < n; u++ {
+		units <- u
+	}
+	close(units)
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Run executes the plan and returns one PointResult per point, in point
+// order.
+func (pl *SweepPlan) Run() ([]PointResult, error) {
+	cfg := pl.Config.withDefaults()
+	type unit struct{ point, trial int }
+	var units []unit
+	results := make([]PointResult, len(pl.Points))
+	for pi := range pl.Points {
+		pt := &pl.Points[pi]
+		if pt.Graph == nil {
+			return nil, fmt.Errorf("sim: point %q: nil graph factory", pt.Key)
+		}
+		trials := pt.trials(cfg)
+		results[pi].Key = pt.Key
+		results[pi].Arms = make([]Result, len(pt.Arms))
+		for ai := range pt.Arms {
+			if pt.Arms[ai].Run == nil {
+				return nil, fmt.Errorf("sim: point %q arm %q: nil arm func", pt.Key, pt.Arms[ai].Name)
+			}
+			results[pi].Arms[ai].Measurements = make([]Measurement, trials)
+		}
+		for t := 0; t < trials; t++ {
+			units = append(units, unit{pi, t})
+		}
+	}
+	err := runUnits(cfg.Workers, len(units), func(u int, sc *walk.CoverScratch) error {
+		pt := &pl.Points[units[u].point]
+		trial := units[u].trial
+		g, err := pt.Graph(rand.New(rng.NewSource(cfg.Kind, pt.graphSeed(cfg, trial))))
+		if err != nil {
+			return fmt.Errorf("sim: point %q trial %d graph: %w", pt.Key, trial, err)
+		}
+		g.Freeze()
+		if trial == 0 {
+			// Each (point, 0) unit is the unique writer of its Rep slot.
+			results[units[u].point].Rep = g
+		}
+		for ai := range pt.Arms {
+			arm := &pt.Arms[ai]
+			r := rng.NewRand(rng.NewSource(cfg.Kind, pt.armSeed(cfg, ai, trial)))
+			m, err := arm.Run(trial, g, r, sc, pt.maxSteps(cfg))
+			if err != nil {
+				return fmt.Errorf("sim: point %q trial %d arm %q: %w", pt.Key, trial, arm.Name, err)
+			}
+			results[units[u].point].Arms[ai].Measurements[trial] = m
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi := range results {
+		for ai := range results[pi].Arms {
+			res := &results[pi].Arms[ai]
+			vs := make([]float64, len(res.Measurements))
+			es := make([]float64, len(res.Measurements))
+			for i, m := range res.Measurements {
+				vs[i] = m.Vertex
+				es[i] = m.Edge
+			}
+			if res.VertexStats, err = stats.Summarize(vs); err != nil {
+				return nil, fmt.Errorf("sim: point %q arm %q: %w", results[pi].Key, pl.Points[pi].Arms[ai].Name, err)
+			}
+			if res.EdgeStats, err = stats.Summarize(es); err != nil {
+				return nil, fmt.Errorf("sim: point %q arm %q: %w", results[pi].Key, pl.Points[pi].Arms[ai].Name, err)
+			}
+		}
+	}
+	return results, nil
+}
