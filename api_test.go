@@ -1,6 +1,8 @@
 package repro_test
 
 import (
+	"bytes"
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -268,5 +270,37 @@ func TestPublicAPIHittingEstimates(t *testing.T) {
 	}
 	if _, err := repro.VisitAllAtLeast(g, r, 0, 2, 0); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// The experiment harness is part of the facade: the registry is
+// enumerable, and a named experiment runs under a context with
+// cancellation honoured.
+func TestPublicAPIExperimentRegistry(t *testing.T) {
+	exps := repro.Experiments()
+	if len(exps) < 20 {
+		t.Fatalf("repro.Experiments() = %d entries, want the full registry", len(exps))
+	}
+	if _, ok := repro.LookupExperiment("thm1"); !ok {
+		t.Fatal("thm1 not visible through the facade")
+	}
+	res, err := repro.RunExperiment(context.Background(), "eq3", repro.ExpConfig{Seed: 3, Trials: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Name != "eq3" || res.Table == nil || len(res.Table.Rows) == 0 {
+		t.Fatalf("malformed result: %+v", res)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"name": "eq3"`)) {
+		t.Error("JSON encoding lacks the experiment stamp")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := repro.RunExperiment(ctx, "eq3", repro.ExpConfig{Seed: 3, Trials: 1}); err != context.Canceled {
+		t.Errorf("cancelled RunExperiment = %v, want context.Canceled", err)
 	}
 }

@@ -1,18 +1,25 @@
 // Command paperrun regenerates the complete experimental record of the
-// paper in one invocation: Figure 1 plus every experiment in the
-// DESIGN.md index, written as a single markdown report (and optionally
-// per-experiment JSON files) suitable for diffing against
-// EXPERIMENTS.md.
+// paper in one invocation: every experiment in the sim registry (the
+// quantitative claims plus Figure 1 — `paperrun -list`, or
+// EXPERIMENTS.md, shows the index), written as a single markdown report
+// and optionally one JSON Result per experiment.
 //
 //	paperrun -out report.md                 # CI scale, ~minutes
-//	paperrun -out report.md -scale 4        # larger n
+//	paperrun -out report.md -scale 4        # larger n (scales Figure 1 too)
 //	paperrun -out report.md -json results/  # also dump JSON per experiment
+//	paperrun -list                          # list experiments and exit
+//	paperrun -v                             # per-experiment progress on stderr
+//
+// An interrupt (Ctrl-C) cancels the run promptly; no partial report is
+// written.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
@@ -27,53 +34,28 @@ func main() {
 	}
 }
 
-type experiment struct {
-	name string
-	run  func(sim.ExpConfig) (*sim.Table, error)
-}
-
-func experiments() []experiment {
-	t := func(f func(sim.ExpConfig) (*sim.Table, error)) func(sim.ExpConfig) (*sim.Table, error) { return f }
-	return []experiment{
-		{"thm1", t(func(c sim.ExpConfig) (*sim.Table, error) { _, tb, err := sim.ExpTheorem1(c); return tb, err })},
-		{"radzik", t(func(c sim.ExpConfig) (*sim.Table, error) { _, tb, err := sim.ExpRadzikSpeedup(c); return tb, err })},
-		{"cor2", t(func(c sim.ExpConfig) (*sim.Table, error) { _, tb, err := sim.ExpCorollary2(c); return tb, err })},
-		{"eq3", t(func(c sim.ExpConfig) (*sim.Table, error) { _, tb, err := sim.ExpEdgeSandwich(c); return tb, err })},
-		{"thm3", t(func(c sim.ExpConfig) (*sim.Table, error) { _, tb, err := sim.ExpTheorem3(c); return tb, err })},
-		{"cor4", t(func(c sim.ExpConfig) (*sim.Table, error) { _, tb, err := sim.ExpCorollary4(c); return tb, err })},
-		{"hcube", t(func(c sim.ExpConfig) (*sim.Table, error) { _, tb, err := sim.ExpHypercube(c); return tb, err })},
-		{"star", t(func(c sim.ExpConfig) (*sim.Table, error) { _, tb, err := sim.ExpOddStars(c); return tb, err })},
-		{"rulea", t(func(c sim.ExpConfig) (*sim.Table, error) { _, tb, err := sim.ExpRuleIndependence(c); return tb, err })},
-		{"p1p2", t(func(c sim.ExpConfig) (*sim.Table, error) {
-			_, tb, err := sim.ExpRandomRegularProperties(c)
-			return tb, err
-		})},
-		{"grw", t(func(c sim.ExpConfig) (*sim.Table, error) { _, tb, err := sim.ExpGreedyWalk(c); return tb, err })},
-		{"compare", t(func(c sim.ExpConfig) (*sim.Table, error) { _, tb, err := sim.ExpProcessComparison(c); return tb, err })},
-		{"ablation", t(func(c sim.ExpConfig) (*sim.Table, error) {
-			_, tb, err := sim.ExpEdgeVsVertexPreference(c)
-			return tb, err
-		})},
-		{"growth", t(func(c sim.ExpConfig) (*sim.Table, error) { _, tb, err := sim.ExpAblationGrowth(c); return tb, err })},
-		{"bias", t(func(c sim.ExpConfig) (*sim.Table, error) { _, tb, err := sim.ExpBiasSweep(c); return tb, err })},
-		{"eq4", t(func(c sim.ExpConfig) (*sim.Table, error) { _, tb, err := sim.ExpBlanketTime(c); return tb, err })},
-		{"lemma13", t(func(c sim.ExpConfig) (*sim.Table, error) { _, tb, err := sim.ExpLemma13(c); return tb, err })},
-		{"phases", t(func(c sim.ExpConfig) (*sim.Table, error) { _, tb, err := sim.ExpPhaseStructure(c); return tb, err })},
-		{"degseq", t(func(c sim.ExpConfig) (*sim.Table, error) { _, tb, _, err := sim.ExpDegreeSequence(c); return tb, err })},
-	}
-}
-
 func run() error {
 	var (
 		out     = flag.String("out", "paper_report.md", "markdown report path")
-		jsonDir = flag.String("json", "", "also write per-experiment JSON reports into this directory")
+		jsonDir = flag.String("json", "", "also write per-experiment JSON results into this directory")
 		scale   = flag.Int("scale", 1, "problem size multiplier")
 		trials  = flag.Int("trials", 5, "trials per point")
 		seed    = flag.Uint64("seed", 2012, "master seed")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		figNMax = flag.Int("fig-nmax", 8000, "largest n for the Figure 1 sweep")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		verbose = flag.Bool("v", false, "report sweep progress (units done/total) on stderr")
 	)
 	flag.Parse()
+
+	if *list {
+		for _, e := range sim.Registry() {
+			fmt.Printf("%-8s %s\n", e.Name, e.Desc)
+		}
+		return nil
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	cfg := sim.ExpConfig{Seed: *seed, Trials: *trials, Scale: *scale, Workers: *workers}
 	var md strings.Builder
@@ -81,55 +63,42 @@ func run() error {
 	fmt.Fprintf(&md, "Generated %s · seed %d · trials %d · scale %d\n\n",
 		time.Now().Format(time.RFC3339), *seed, *trials, *scale)
 
-	// Figure 1 first.
-	ns := []int{*figNMax / 8, *figNMax / 4, *figNMax / 2, *figNMax}
-	series, err := sim.Figure1(sim.Figure1Config{
-		Ns: ns, Trials: *trials, Seed: *seed, Workers: *workers,
-	})
-	if err != nil {
-		return fmt.Errorf("figure1: %w", err)
-	}
-	figReport := sim.NewReport("fig1", cfg, sim.Figure1Table(series))
-	md.WriteString(figReport.Markdown())
-	for _, s := range series {
-		fmt.Fprintf(&md, "- d=%d verdict **%s**; linear %s; nlogn %s\n",
-			s.Degree, s.Verdict, s.Growth.Linear.String(), s.Growth.NLogN.String())
-	}
-	md.WriteString("\n")
-	reports := []sim.Report{figReport}
-
-	for _, e := range experiments() {
-		table, err := e.run(cfg)
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.name, err)
+	var results []*sim.Result
+	for _, e := range sim.Registry() {
+		opts := sim.RunOptions{}
+		if *verbose {
+			opts = sim.StderrProgress(e.Name)
 		}
-		rep := sim.NewReport(e.name, cfg, table)
-		md.WriteString(rep.Markdown())
-		reports = append(reports, rep)
-		fmt.Fprintf(os.Stderr, "done: %s\n", e.name)
+		res, err := e.Run(ctx, cfg, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.Name, err)
+		}
+		md.WriteString(res.Report().Markdown())
+		if len(res.Notes) > 0 {
+			for _, note := range res.Notes {
+				fmt.Fprintf(&md, "- %s\n", note)
+			}
+			md.WriteString("\n")
+		}
+		results = append(results, res)
+		fmt.Fprintf(os.Stderr, "done: %s\n", e.Name)
 	}
 
 	if err := os.WriteFile(*out, []byte(md.String()), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d experiments)\n", *out, len(reports))
+	fmt.Printf("wrote %s (%d experiments)\n", *out, len(results))
 
 	if *jsonDir != "" {
 		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
 			return err
 		}
-		for _, rep := range reports {
-			f, err := os.Create(filepath.Join(*jsonDir, rep.Name+".json"))
-			if err != nil {
+		for _, res := range results {
+			if err := res.WriteFile(filepath.Join(*jsonDir, res.Name+".json")); err != nil {
 				return err
 			}
-			if err := rep.WriteJSON(f); err != nil {
-				f.Close()
-				return err
-			}
-			f.Close()
 		}
-		fmt.Printf("wrote %d JSON reports to %s\n", len(reports), *jsonDir)
+		fmt.Printf("wrote %d JSON results to %s\n", len(results), *jsonDir)
 	}
 	return nil
 }

@@ -1,10 +1,13 @@
-// Command sweep runs any of the named experiments from the DESIGN.md
-// experiment index (the paper's quantitative claims) at a chosen scale
-// and prints the resulting tables.
+// Command sweep runs any experiment from the sim registry (the paper's
+// quantitative claims plus Figure 1 — see EXPERIMENTS.md, or `sweep
+// -list` for the authoritative, self-describing index) at a chosen
+// scale and prints the resulting tables.
 //
 //	sweep -exp all                  # every experiment, CI scale
 //	sweep -exp thm1,radzik -scale 4 # selected experiments, larger n
 //	sweep -list                     # list experiment names
+//	sweep -exp all -json out/       # also dump one JSON Result per experiment
+//	sweep -exp all -v               # progress (units done/total) on stderr
 //
 // Within one process, every experiment is a point-level sweep: all
 // (point, trial) units share one worker pool (-workers), and results
@@ -18,108 +21,23 @@
 //
 //	sweep -exp all -scale 16 -shard 0/4   # machine 0 of 4
 //	sweep -exp all -scale 16 -shard 1/4   # machine 1 of 4 ...
+//
+// An interrupt (Ctrl-C) cancels the run promptly: in-flight units
+// finish, queued work is dropped, and the process exits with an error.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"repro/internal/sim"
 )
-
-type experiment struct {
-	name string
-	desc string
-	run  func(sim.ExpConfig) (*sim.Table, error)
-}
-
-func experiments() []experiment {
-	wrap := func(f func(sim.ExpConfig) (*sim.Table, error)) func(sim.ExpConfig) (*sim.Table, error) {
-		return f
-	}
-	return []experiment{
-		{"thm1", "Theorem 1: E-process vertex cover vs bound", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
-			_, t, err := sim.ExpTheorem1(c)
-			return t, err
-		})},
-		{"radzik", "Theorem 5: SRW lower bound and E-process speedup", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
-			_, t, err := sim.ExpRadzikSpeedup(c)
-			return t, err
-		})},
-		{"cor2", "Corollary 2: Θ(n) growth for r ≥ 4 even", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
-			_, t, err := sim.ExpCorollary2(c)
-			return t, err
-		})},
-		{"eq3", "Equation 3: edge cover sandwich", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
-			_, t, err := sim.ExpEdgeSandwich(c)
-			return t, err
-		})},
-		{"thm3", "Theorem 3: girth-parameterised edge cover", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
-			_, t, err := sim.ExpTheorem3(c)
-			return t, err
-		})},
-		{"cor4", "Corollary 4: edge cover O(ωn) on random regular", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
-			_, t, err := sim.ExpCorollary4(c)
-			return t, err
-		})},
-		{"hcube", "Hypercube edge cover case study", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
-			_, t, err := sim.ExpHypercube(c)
-			return t, err
-		})},
-		{"star", "Section 5: isolated blue stars on odd degree", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
-			_, t, err := sim.ExpOddStars(c)
-			return t, err
-		})},
-		{"rulea", "Rule-A independence (incl. adversary)", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
-			_, t, err := sim.ExpRuleIndependence(c)
-			return t, err
-		})},
-		{"p1p2", "Random regular properties (P1), (P2)", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
-			_, t, err := sim.ExpRandomRegularProperties(c)
-			return t, err
-		})},
-		{"grw", "Greedy random walk vs eq. (2)", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
-			_, t, err := sim.ExpGreedyWalk(c)
-			return t, err
-		})},
-		{"compare", "Process comparison (SRW/E/RWC/rotor/fair)", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
-			_, t, err := sim.ExpProcessComparison(c)
-			return t, err
-		})},
-		{"ablation", "Unvisited-edge vs unvisited-vertex preference", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
-			_, t, err := sim.ExpEdgeVsVertexPreference(c)
-			return t, err
-		})},
-		{"growth", "Cover growth classification by process", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
-			_, t, err := sim.ExpAblationGrowth(c)
-			return t, err
-		})},
-		{"bias", "Cover time vs unvisited-preference strength", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
-			_, t, err := sim.ExpBiasSweep(c)
-			return t, err
-		})},
-		{"eq4", "Blanket time / T(r) / eq. (4) edge-cover bound", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
-			_, t, err := sim.ExpBlanketTime(c)
-			return t, err
-		})},
-		{"lemma13", "Lemma 13: unvisited-set probability bound", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
-			_, t, err := sim.ExpLemma13(c)
-			return t, err
-		})},
-		{"phases", "Blue-phase decomposition of the E-process", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
-			_, t, err := sim.ExpPhaseStructure(c)
-			return t, err
-		})},
-		{"degseq", "Corollary 2 on fixed even degree sequences", wrap(func(c sim.ExpConfig) (*sim.Table, error) {
-			_, t, _, err := sim.ExpDegreeSequence(c)
-			return t, err
-		})},
-	}
-}
 
 func main() {
 	if err := run(); err != nil {
@@ -152,10 +70,38 @@ func parseShard(s string) (idx, count int, err error) {
 // Blocks preserve order and partition the input: concatenating the
 // outputs of shards 0..count-1 yields the experiments of the unsharded
 // run in the unsharded order.
-func shardSelect(exps []experiment, idx, count int) []experiment {
+func shardSelect(exps []sim.Experiment, idx, count int) []sim.Experiment {
 	lo := idx * len(exps) / count
 	hi := (idx + 1) * len(exps) / count
 	return exps[lo:hi]
+}
+
+// selectExperiments resolves the -exp flag against the registry: "all"
+// is the full registry in canonical order, otherwise a comma-separated
+// name list resolved through sim.Lookup, in the order given.
+func selectExperiments(expList string) ([]sim.Experiment, error) {
+	if expList == "all" {
+		return sim.Registry(), nil
+	}
+	var selected []sim.Experiment
+	for _, name := range strings.Split(expList, ",") {
+		name = strings.TrimSpace(name)
+		e, ok := sim.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q (known: %s)", name, strings.Join(sim.Names(), ", "))
+		}
+		selected = append(selected, e)
+	}
+	return selected, nil
+}
+
+// progressOpts returns RunOptions that report (units done / total) for
+// the named experiment on stderr when verbose is set.
+func progressOpts(name string, verbose bool) sim.RunOptions {
+	if !verbose {
+		return sim.RunOptions{}
+	}
+	return sim.StderrProgress(name)
 }
 
 func run() error {
@@ -167,38 +113,21 @@ func run() error {
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		shard   = flag.String("shard", "", "run shard i of m selected experiments, as 'i/m' (for multi-process sweeps)")
 		list    = flag.Bool("list", false, "list experiments and exit")
+		jsonDir = flag.String("json", "", "also write one JSON Result per experiment into this directory")
+		verbose = flag.Bool("v", false, "report sweep progress (units done/total) on stderr")
 	)
 	flag.Parse()
 
-	exps := experiments()
 	if *list {
-		for _, e := range exps {
-			fmt.Printf("%-8s %s\n", e.name, e.desc)
+		for _, e := range sim.Registry() {
+			fmt.Printf("%-8s %s\n", e.Name, e.Desc)
 		}
 		return nil
 	}
 
-	byName := make(map[string]experiment, len(exps))
-	for _, e := range exps {
-		byName[e.name] = e
-	}
-	var selected []experiment
-	if *expList == "all" {
-		selected = exps
-	} else {
-		for _, name := range strings.Split(*expList, ",") {
-			name = strings.TrimSpace(name)
-			e, ok := byName[name]
-			if !ok {
-				known := make([]string, 0, len(byName))
-				for k := range byName {
-					known = append(known, k)
-				}
-				sort.Strings(known)
-				return fmt.Errorf("unknown experiment %q (known: %s)", name, strings.Join(known, ", "))
-			}
-			selected = append(selected, e)
-		}
+	selected, err := selectExperiments(*expList)
+	if err != nil {
+		return err
 	}
 	if *shard != "" {
 		idx, count, err := parseShard(*shard)
@@ -207,18 +136,34 @@ func run() error {
 		}
 		selected = shardSelect(selected, idx, count)
 	}
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	cfg := sim.ExpConfig{Seed: *seed, Trials: *trials, Scale: *scale, Workers: *workers}
 	for i, e := range selected {
 		if i > 0 {
 			fmt.Println()
 		}
-		table, err := e.run(cfg)
+		res, err := e.Run(ctx, cfg, progressOpts(e.Name, *verbose))
 		if err != nil {
-			return fmt.Errorf("%s: %w", e.name, err)
+			return fmt.Errorf("%s: %w", e.Name, err)
 		}
-		if err := table.WriteText(os.Stdout); err != nil {
+		if err := res.Table.WriteText(os.Stdout); err != nil {
 			return err
+		}
+		for _, note := range res.Notes {
+			fmt.Println(note)
+		}
+		if *jsonDir != "" {
+			if err := res.WriteFile(filepath.Join(*jsonDir, e.Name+".json")); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

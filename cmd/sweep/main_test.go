@@ -2,27 +2,34 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"strings"
 	"testing"
 
 	"repro/internal/sim"
 )
 
-func TestExperimentRegistryUniqueNames(t *testing.T) {
-	seen := map[string]bool{}
-	for _, e := range experiments() {
-		if e.name == "" || e.desc == "" {
-			t.Errorf("experiment with empty name/desc: %+v", e)
-		}
-		if seen[e.name] {
-			t.Errorf("duplicate experiment name %q", e.name)
-		}
-		seen[e.name] = true
-		if e.run == nil {
-			t.Errorf("experiment %q has nil runner", e.name)
-		}
+// The CLI no longer carries its own experiment list: everything is
+// driven by sim.Registry(). These tests pin the CLI-visible properties
+// of that surface (selection, sharding, tiny end-to-end runs).
+
+func TestRegistryDrivenSelection(t *testing.T) {
+	all, err := selectExperiments("all")
+	if err != nil {
+		t.Fatal(err)
 	}
-	if len(seen) < 14 {
-		t.Errorf("registry has %d experiments, expected at least 14", len(seen))
+	if len(all) != len(sim.Registry()) {
+		t.Fatalf("selectExperiments(all) = %d experiments, registry has %d", len(all), len(sim.Registry()))
+	}
+	sel, err := selectExperiments("radzik, thm1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 || sel[0].Name != "radzik" || sel[1].Name != "thm1" {
+		t.Fatalf("selection order not preserved: %+v", sel)
+	}
+	if _, err := selectExperiments("nope"); err == nil || !strings.Contains(err.Error(), "known:") {
+		t.Fatalf("unknown experiment error should list known names, got %v", err)
 	}
 }
 
@@ -31,17 +38,20 @@ func TestEveryExperimentRunsTiny(t *testing.T) {
 		t.Skip("tiny full-registry run still takes seconds")
 	}
 	cfg := sim.ExpConfig{Seed: 9, Trials: 1, Scale: 1}
-	for _, e := range experiments() {
-		table, err := e.run(cfg)
+	for _, e := range sim.Registry() {
+		if e.Name == "fig1" {
+			continue // its default grid reaches n=8000; covered by sim's own tests
+		}
+		res, err := e.Run(context.Background(), cfg, sim.RunOptions{})
 		if err != nil {
-			t.Fatalf("%s: %v", e.name, err)
+			t.Fatalf("%s: %v", e.Name, err)
 		}
 		var buf bytes.Buffer
-		if err := table.WriteText(&buf); err != nil {
-			t.Fatalf("%s render: %v", e.name, err)
+		if err := res.Table.WriteText(&buf); err != nil {
+			t.Fatalf("%s render: %v", e.Name, err)
 		}
 		if buf.Len() == 0 {
-			t.Fatalf("%s produced empty table", e.name)
+			t.Fatalf("%s produced empty table", e.Name)
 		}
 	}
 }
@@ -62,20 +72,20 @@ func TestParseShard(t *testing.T) {
 // contiguous blocks: concatenating all shards reproduces the unsharded
 // selection exactly, for any shard count (including m > len).
 func TestShardsPartitionExperiments(t *testing.T) {
-	all := experiments()
+	all := sim.Registry()
 	for _, m := range []int{1, 2, 3, len(all), len(all) + 5} {
 		var concat []string
 		for i := 0; i < m; i++ {
 			for _, e := range shardSelect(all, i, m) {
-				concat = append(concat, e.name)
+				concat = append(concat, e.Name)
 			}
 		}
 		if len(concat) != len(all) {
 			t.Fatalf("m=%d: shards cover %d experiments, want %d", m, len(concat), len(all))
 		}
 		for j, e := range all {
-			if concat[j] != e.name {
-				t.Fatalf("m=%d: concatenated shard order differs at %d: %q vs %q", m, j, concat[j], e.name)
+			if concat[j] != e.Name {
+				t.Fatalf("m=%d: concatenated shard order differs at %d: %q vs %q", m, j, concat[j], e.Name)
 			}
 		}
 	}

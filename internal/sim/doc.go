@@ -1,21 +1,44 @@
 // Package sim is the experiment harness: it runs seeded, reproducible,
 // parallel sweeps of walk processes over graph families, aggregates the
 // results, and renders the tables and series that regenerate the
-// paper's Figure 1 and the quantitative claims indexed in DESIGN.md.
+// paper's Figure 1 and every quantitative claim.
+//
+// # Experiment registry
+//
+// Every experiment registers itself at init time (experiments*.go,
+// figure1.go) under a stable name, a one-line description, and its
+// seed-salt namespace. Registry() enumerates them in canonical order,
+// Lookup(name) finds one, and Experiment.Run / RunExperiment plan and
+// execute one under a context, returning a uniform Result: the typed
+// rows, the rendered *Table, optional notes, and a reproduction stamp
+// (seed, trials, scale) with a stable JSON encoding (WriteJSON /
+// ReadResult). The thin ExpXxx functions are compatibility wrappers
+// delegating to the registry; cmd/sweep and cmd/paperrun drive their
+// -list, selection, sharding and JSON output entirely from Registry(),
+// and package repro re-exports the harness as repro.Experiments /
+// repro.RunExperiment. The generated index lives in EXPERIMENTS.md;
+// `go run ./cmd/sweep -list` prints the live registry.
 //
 // # Sweep model
 //
-// An experiment is a SweepPlan: a set of PointSpecs (one per graph
-// family cell, e.g. one (n, d) value) each carrying one or more Arms
-// (the processes compared on that cell). The scheduling unit is a
-// (point, trial) pair fanned out over one shared worker pool, so points
-// run concurrently with each other as well as with their own trials.
-// Each unit generates its graph once, freezes it into the CSR layout,
-// and hands the same read-only instance to every arm in turn — compared
-// processes always see identical instances and generation cost is paid
-// once per trial, not once per arm. Trial 0's frozen graph outlives the
-// sweep as PointResult.Rep, the representative instance used for
-// structural post-processing (spectral gaps, girth, ℓ-bounds).
+// An experiment's Plan lays out a SweepPlan: a set of PointSpecs (one
+// per graph family cell, e.g. one (n, d) value) each carrying one or
+// more Arms (the processes compared on that cell). The scheduling unit
+// is a (point, trial) pair fanned out over one shared worker pool, so
+// points run concurrently with each other as well as with their own
+// trials. Each unit generates its graph once, freezes it into the CSR
+// layout, and hands the same read-only instance to every arm in turn —
+// compared processes always see identical instances and generation cost
+// is paid once per trial, not once per arm. Trial 0's frozen graph
+// outlives the sweep as PointResult.Rep, the representative instance
+// used for structural post-processing (spectral gaps, girth, ℓ-bounds).
+//
+// SweepPlan.RunContext(ctx, opts) executes the plan under a context:
+// cancelling ctx stops the feed promptly, in-flight units finish,
+// queued units are skipped, every worker drains and exits (no goroutine
+// leaks), and ctx.Err() is returned. opts.Progress reports cumulative
+// (units done, total) after each completed unit. Run() is RunContext
+// with a background context; a completed RunContext is identical to it.
 //
 // # Seed-derivation contract
 //
@@ -24,13 +47,13 @@
 //
 //	deriveSeed(master, pointSalt, trial)
 //
-// where point salts are built with Salt from a per-experiment namespace
-// constant plus the point's coordinates, and the graph stream and each
-// arm occupy distinct salt slots. Call sites must never hand-mix seeds
-// with ^/<</| expressions — an operator-precedence bug in exactly such
-// an expression once made distinct experiment points share seeds. The
-// regression test in sweep_test.go asserts that every seed derived
-// across every experiment's plan is pairwise distinct, and results are
-// byte-identical regardless of the Workers setting or scheduler
-// interleaving.
+// where point salts are built with Salt from the owning experiment's
+// registered namespace constant plus the point's coordinates, and the
+// graph stream and each arm occupy distinct salt slots. Call sites must
+// never hand-mix seeds with ^/<</| expressions — an operator-precedence
+// bug in exactly such an expression once made distinct experiment
+// points share seeds. The regression test in sweep_test.go enumerates
+// every plan through the registry and asserts that every derived seed
+// is pairwise distinct, and results are byte-identical regardless of
+// the Workers setting or scheduler interleaving.
 package sim

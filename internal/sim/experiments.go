@@ -63,6 +63,27 @@ func regularPointGraph(n, deg int) GraphFactory {
 	return func(r *rand.Rand) (*graph.Graph, error) { return gen.RandomRegularSW(r, n, deg) }
 }
 
+func init() {
+	register(Experiment{Name: "thm1", Salt: saltTHM1,
+		Desc: "Theorem 1: E-process vertex cover vs bound",
+		Plan: adapt(theorem1Plan)})
+	register(Experiment{Name: "radzik", Salt: saltRADZIK,
+		Desc: "Theorem 5: SRW lower bound and E-process speedup",
+		Plan: adapt(radzikPlan)})
+	register(Experiment{Name: "cor2", Salt: saltCOR2,
+		Desc: "Corollary 2: Θ(n) growth for r ≥ 4 even",
+		Plan: adapt(corollary2Plan)})
+	register(Experiment{Name: "eq3", Salt: saltEQ3,
+		Desc: "Equation 3: edge cover sandwich",
+		Plan: adapt(edgeSandwichPlan)})
+	register(Experiment{Name: "thm3", Salt: saltTHM3,
+		Desc: "Theorem 3: girth-parameterised edge cover",
+		Plan: adapt(theorem3Plan)})
+	register(Experiment{Name: "cor4", Salt: saltCOR4,
+		Desc: "Corollary 4: edge cover O(ωn) on random regular",
+		Plan: adapt(corollary4Plan)})
+}
+
 // --- THM1: Theorem 1 vertex cover on even-degree expanders ---------------
 
 // Theorem1Row is one n-point of the THM1 experiment.
@@ -134,14 +155,10 @@ func theorem1Plan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]Theorem1Row
 
 // ExpTheorem1 measures the E-process vertex cover time on random
 // even-degree regular graphs against the Theorem 1 bound
-// O(n + n log n / (ℓ(1−λmax))).
+// O(n + n log n / (ℓ(1−λmax))). It delegates to the "thm1" registry
+// entry.
 func ExpTheorem1(cfg ExpConfig) ([]Theorem1Row, *Table, error) {
-	plan, finish := theorem1Plan(cfg.withDefaults())
-	points, err := plan.Run()
-	if err != nil {
-		return nil, nil, err
-	}
-	return finish(points)
+	return runTyped[[]Theorem1Row]("thm1", cfg)
 }
 
 // --- RADZIK: lower bound + speedup ---------------------------------------
@@ -198,14 +215,10 @@ func radzikPlan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]SpeedupRow, *
 
 // ExpRadzikSpeedup measures the SRW-vs-E-process speedup on random
 // 4-regular graphs and checks both against Radzik's and Feige's lower
-// bounds (which constrain the SRW but not the E-process).
+// bounds (which constrain the SRW but not the E-process). It delegates
+// to the "radzik" registry entry.
 func ExpRadzikSpeedup(cfg ExpConfig) ([]SpeedupRow, *Table, error) {
-	plan, finish := radzikPlan(cfg.withDefaults())
-	points, err := plan.Run()
-	if err != nil {
-		return nil, nil, err
-	}
-	return finish(points)
+	return runTyped[[]SpeedupRow]("radzik", cfg)
 }
 
 // --- COR2: Θ(n) linearity for r ≥ 4 even ---------------------------------
@@ -272,14 +285,10 @@ func corollary2Plan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]Corollary
 }
 
 // ExpCorollary2 sweeps n for even degrees and classifies the E-process
-// vertex cover growth; Corollary 2 predicts "linear".
+// vertex cover growth; Corollary 2 predicts "linear". It delegates to
+// the "cor2" registry entry.
 func ExpCorollary2(cfg ExpConfig) ([]Corollary2Result, *Table, error) {
-	plan, finish := corollary2Plan(cfg.withDefaults())
-	points, err := plan.Run()
-	if err != nil {
-		return nil, nil, err
-	}
-	return finish(points)
+	return runTyped[[]Corollary2Result]("cor2", cfg)
 }
 
 // --- EQ3: edge cover sandwich ---------------------------------------------
@@ -336,14 +345,9 @@ func edgeSandwichPlan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]Sandwic
 }
 
 // ExpEdgeSandwich measures the eq. (3) sandwich on random 4-regular
-// graphs.
+// graphs. It delegates to the "eq3" registry entry.
 func ExpEdgeSandwich(cfg ExpConfig) ([]SandwichRow, *Table, error) {
-	plan, finish := edgeSandwichPlan(cfg.withDefaults())
-	points, err := plan.Run()
-	if err != nil {
-		return nil, nil, err
-	}
-	return finish(points)
+	return runTyped[[]SandwichRow]("eq3", cfg)
 }
 
 // --- THM3/COR4: edge cover on girth-parameterised families ---------------
@@ -422,14 +426,10 @@ func theorem3Plan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]EdgeCoverRo
 
 // ExpTheorem3 measures E-process edge cover against the Theorem 3 bound
 // on even-degree families with different girths: circulants (girth 4),
-// a Margulis expander (girth 3–4), and random 4-regular graphs.
+// a Margulis expander (girth 3–4), and random 4-regular graphs. It
+// delegates to the "thm3" registry entry.
 func ExpTheorem3(cfg ExpConfig) ([]EdgeCoverRow, *Table, error) {
-	plan, finish := theorem3Plan(cfg.withDefaults())
-	points, err := plan.Run()
-	if err != nil {
-		return nil, nil, err
-	}
-	return finish(points)
+	return runTyped[[]EdgeCoverRow]("thm3", cfg)
 }
 
 // Corollary4Row is one n-point of the COR4 experiment.
@@ -481,12 +481,7 @@ func corollary4Plan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]Corollary
 
 // ExpCorollary4 sweeps n on random 4-regular graphs and reports the
 // normalised edge cover time; Corollary 4 predicts C_E = O(ω·n) for any
-// ω → ∞.
+// ω → ∞. It delegates to the "cor4" registry entry.
 func ExpCorollary4(cfg ExpConfig) ([]Corollary4Row, *Table, error) {
-	plan, finish := corollary4Plan(cfg.withDefaults())
-	points, err := plan.Run()
-	if err != nil {
-		return nil, nil, err
-	}
-	return finish(points)
+	return runTyped[[]Corollary4Row]("cor4", cfg)
 }

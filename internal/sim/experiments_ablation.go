@@ -75,12 +75,7 @@ func edgeVsVertexPlan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]Ablatio
 // and n values; the E-process's even-degree guarantee (Θ(n)) is the
 // differentiator the paper proves.
 func ExpEdgeVsVertexPreference(cfg ExpConfig) ([]AblationRow, *Table, error) {
-	plan, finish := edgeVsVertexPlan(cfg.withDefaults())
-	points, err := plan.Run()
-	if err != nil {
-		return nil, nil, err
-	}
-	return finish(points)
+	return runTyped[[]AblationRow]("ablation", cfg)
 }
 
 // GrowthByProcess classifies cover-time growth for each process on
@@ -139,10 +134,14 @@ func ablationGrowthPlan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]Growt
 // ExpAblationGrowth classifies the growth of the three processes on
 // 4-regular graphs over an n sweep.
 func ExpAblationGrowth(cfg ExpConfig) ([]GrowthByProcess, *Table, error) {
-	plan, finish := ablationGrowthPlan(cfg.withDefaults())
-	points, err := plan.Run()
-	if err != nil {
-		return nil, nil, err
-	}
-	return finish(points)
+	return runTyped[[]GrowthByProcess]("growth", cfg)
+}
+
+func init() {
+	register(Experiment{Name: "ablation", Salt: saltABLATION,
+		Desc: "Unvisited-edge vs unvisited-vertex preference",
+		Plan: adapt(edgeVsVertexPlan)})
+	register(Experiment{Name: "growth", Salt: saltGROWTH,
+		Desc: "Cover growth classification by process",
+		Plan: adapt(ablationGrowthPlan)})
 }

@@ -63,10 +63,11 @@ func biasSweepPlan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]BiasRow, *
 // cover time emerges as the preference becomes strict — the constant
 // improves smoothly but the Θ(n) plateau only appears near bias 1.
 func ExpBiasSweep(cfg ExpConfig) ([]BiasRow, *Table, error) {
-	plan, finish := biasSweepPlan(cfg.withDefaults())
-	points, err := plan.Run()
-	if err != nil {
-		return nil, nil, err
-	}
-	return finish(points)
+	return runTyped[[]BiasRow]("bias", cfg)
+}
+
+func init() {
+	register(Experiment{Name: "bias", Salt: saltBIAS,
+		Desc: "Cover time vs unvisited-preference strength",
+		Plan: adapt(biasSweepPlan)})
 }

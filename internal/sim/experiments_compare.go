@@ -77,12 +77,7 @@ func hypercubePlan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]HypercubeR
 // ExpHypercube contrasts E-process and SRW edge cover on H_r: the paper
 // argues Θ(n log n) vs Θ(n log² n), beating the eq. (2) bound.
 func ExpHypercube(cfg ExpConfig) ([]HypercubeRow, *Table, error) {
-	plan, finish := hypercubePlan(cfg.withDefaults())
-	points, err := plan.Run()
-	if err != nil {
-		return nil, nil, err
-	}
-	return finish(points)
+	return runTyped[[]HypercubeRow]("hcube", cfg)
 }
 
 // --- STAR: Section 5 isolated blue stars on odd-degree graphs -------------
@@ -147,12 +142,7 @@ func oddStarsPlan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]StarRow, *T
 // ExpOddStars runs the Section 5 star census: 3-regular graphs should
 // produce ≈ n/8 isolated blue stars; even degrees exactly 0.
 func ExpOddStars(cfg ExpConfig) ([]StarRow, *Table, error) {
-	plan, finish := oddStarsPlan(cfg.withDefaults())
-	points, err := plan.Run()
-	if err != nil {
-		return nil, nil, err
-	}
-	return finish(points)
+	return runTyped[[]StarRow]("star", cfg)
 }
 
 // --- RULEA: rule independence ---------------------------------------------
@@ -216,12 +206,7 @@ func ruleIndependencePlan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]Rul
 // on the same graph family; Theorem 1 predicts all normalised cover
 // times stay O(1) on even-degree expanders, adversarial rules included.
 func ExpRuleIndependence(cfg ExpConfig) ([]RuleRow, *Table, error) {
-	plan, finish := ruleIndependencePlan(cfg.withDefaults())
-	points, err := plan.Run()
-	if err != nil {
-		return nil, nil, err
-	}
-	return finish(points)
+	return runTyped[[]RuleRow]("rulea", cfg)
 }
 
 // --- P1P2: random regular structural properties ---------------------------
@@ -299,12 +284,7 @@ func randomRegularPropertiesPlan(cfg ExpConfig) (*SweepPlan, func([]PointResult)
 // ExpRandomRegularProperties verifies (P1) and (P2) numerically on
 // sampled random regular graphs.
 func ExpRandomRegularProperties(cfg ExpConfig) ([]PropertyRow, *Table, error) {
-	plan, finish := randomRegularPropertiesPlan(cfg.withDefaults())
-	points, err := plan.Run()
-	if err != nil {
-		return nil, nil, err
-	}
-	return finish(points)
+	return runTyped[[]PropertyRow]("p1p2", cfg)
 }
 
 // --- GRW: Orenshtein–Shinkar greedy random walk ---------------------------
@@ -373,12 +353,7 @@ func greedyWalkPlan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]GreedyRow
 // ExpGreedyWalk measures GRW edge cover against the eq. (2) bound,
 // including an r = Θ(log n) family where the bound is Θ(m).
 func ExpGreedyWalk(cfg ExpConfig) ([]GreedyRow, *Table, error) {
-	plan, finish := greedyWalkPlan(cfg.withDefaults())
-	points, err := plan.Run()
-	if err != nil {
-		return nil, nil, err
-	}
-	return finish(points)
+	return runTyped[[]GreedyRow]("grw", cfg)
 }
 
 // --- RWC / ROTOR / FAIR: comparison processes -----------------------------
@@ -461,10 +436,26 @@ func processComparisonPlan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]Co
 // geometric graph (the Avin–Krishnamachari setting) plus a random
 // 4-regular expander.
 func ExpProcessComparison(cfg ExpConfig) ([]CompareRow, *Table, error) {
-	plan, finish := processComparisonPlan(cfg.withDefaults())
-	points, err := plan.Run()
-	if err != nil {
-		return nil, nil, err
-	}
-	return finish(points)
+	return runTyped[[]CompareRow]("compare", cfg)
+}
+
+func init() {
+	register(Experiment{Name: "hcube", Salt: saltHCUBE,
+		Desc: "Hypercube edge cover case study",
+		Plan: adapt(hypercubePlan)})
+	register(Experiment{Name: "star", Salt: saltSTAR,
+		Desc: "Section 5: isolated blue stars on odd degree",
+		Plan: adapt(oddStarsPlan)})
+	register(Experiment{Name: "rulea", Salt: saltRULEA,
+		Desc: "Rule-A independence (incl. adversary)",
+		Plan: adapt(ruleIndependencePlan)})
+	register(Experiment{Name: "p1p2", Salt: saltP1P2,
+		Desc: "Random regular properties (P1), (P2)",
+		Plan: adapt(randomRegularPropertiesPlan)})
+	register(Experiment{Name: "grw", Salt: saltGRW,
+		Desc: "Greedy random walk vs eq. (2)",
+		Plan: adapt(greedyWalkPlan)})
+	register(Experiment{Name: "compare", Salt: saltCOMPARE,
+		Desc: "Process comparison (SRW/E/RWC/rotor/fair)",
+		Plan: adapt(processComparisonPlan)})
 }

@@ -80,16 +80,37 @@ func degreeSequencePlan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]DegSe
 	return plan, finish
 }
 
+// DegSeqResult is the degseq experiment's registry row payload: the
+// per-n rows plus the growth classification fitted across them.
+type DegSeqResult struct {
+	Rows   []DegSeqRow  `json:"rows"`
+	Growth stats.Growth `json:"growth"`
+}
+
+func init() {
+	register(Experiment{Name: "degseq", Salt: saltDEGSEQ,
+		Desc: "Corollary 2 on fixed even degree sequences",
+		Plan: func(cfg ExpConfig) (*SweepPlan, Finish, error) {
+			plan, fin := degreeSequencePlan(cfg.withDefaults())
+			return plan, func(points []PointResult) (*Result, error) {
+				rows, t, growth, err := fin(points)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{Rows: DegSeqResult{Rows: rows, Growth: growth}, Table: t}, nil
+			}, nil
+		}})
+}
+
 // ExpDegreeSequence measures the E-process on the second family of the
 // paper's Corollary 2 discussion: fixed degree sequence random graphs
 // with all degrees even, finite and at least 4 (here a 50/30/20 mixture
 // of degrees 4, 6 and 8). The Θ(n) conclusion must survive the loss of
-// regularity.
+// regularity. It delegates to the "degseq" registry entry.
 func ExpDegreeSequence(cfg ExpConfig) ([]DegSeqRow, *Table, stats.Growth, error) {
-	plan, finish := degreeSequencePlan(cfg.withDefaults())
-	points, err := plan.Run()
+	bundle, t, err := runTyped[DegSeqResult]("degseq", cfg)
 	if err != nil {
 		return nil, nil, stats.Growth{}, err
 	}
-	return finish(points)
+	return bundle.Rows, t, bundle.Growth, nil
 }

@@ -86,12 +86,7 @@ func blanketTimePlan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]BlanketR
 // T(r) are both O(C_V(SRW)), which bounds the E-process edge cover by
 // O(m + C_V(SRW)).
 func ExpBlanketTime(cfg ExpConfig) ([]BlanketRow, *Table, error) {
-	plan, finish := blanketTimePlan(cfg.withDefaults())
-	points, err := plan.Run()
-	if err != nil {
-		return nil, nil, err
-	}
-	return finish(points)
+	return runTyped[[]BlanketRow]("eq4", cfg)
 }
 
 // Lemma13Row compares the measured probability that a vertex set S
@@ -214,10 +209,14 @@ func lemma13Plan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]Lemma13Row, 
 // exp(−t·d(S)·gap/(14m)). S is taken as a BFS ball around a fixed
 // vertex, matching the connected blue fragments of Lemma 15.
 func ExpLemma13(cfg ExpConfig) ([]Lemma13Row, *Table, error) {
-	plan, finish := lemma13Plan(cfg.withDefaults())
-	points, err := plan.Run()
-	if err != nil {
-		return nil, nil, err
-	}
-	return finish(points)
+	return runTyped[[]Lemma13Row]("lemma13", cfg)
+}
+
+func init() {
+	register(Experiment{Name: "eq4", Salt: saltEQ4,
+		Desc: "Blanket time / T(r) / eq. (4) edge-cover bound",
+		Plan: adapt(blanketTimePlan)})
+	register(Experiment{Name: "lemma13", Salt: saltLEMMA13,
+		Desc: "Lemma 13: unvisited-set probability bound",
+		Plan: adapt(lemma13Plan)})
 }

@@ -112,10 +112,11 @@ func phaseStructurePlan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]Phase
 // degrees phases terminate early (no parity guarantee), so the count is
 // much larger and the first phase smaller.
 func ExpPhaseStructure(cfg ExpConfig) ([]PhaseRow, *Table, error) {
-	plan, finish := phaseStructurePlan(cfg.withDefaults())
-	points, err := plan.Run()
-	if err != nil {
-		return nil, nil, err
-	}
-	return finish(points)
+	return runTyped[[]PhaseRow]("phases", cfg)
+}
+
+func init() {
+	register(Experiment{Name: "phases", Salt: saltPHASES,
+		Desc: "Blue-phase decomposition of the E-process",
+		Plan: adapt(phaseStructurePlan)})
 }

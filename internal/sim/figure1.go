@@ -129,9 +129,46 @@ func figure1Plan(cfg Figure1Config) (*SweepPlan, func([]PointResult) ([]Figure1S
 	return plan, finish, nil
 }
 
+func init() {
+	register(Experiment{Name: "fig1", Salt: saltFIG1,
+		Desc: "Figure 1: normalised E-process cover time by degree",
+		Plan: func(cfg ExpConfig) (*SweepPlan, Finish, error) {
+			cfg = cfg.withDefaults()
+			// Map the uniform experiment knobs onto the figure's grid:
+			// the default (degree, n) cells, with n scaled like every
+			// other experiment. Custom grids stay available through the
+			// typed Figure1 entry point and cmd/figure1.
+			fcfg := Figure1Config{Trials: cfg.Trials, Seed: cfg.Seed, Workers: cfg.Workers}.withDefaults()
+			for i := range fcfg.Ns {
+				fcfg.Ns[i] *= cfg.Scale
+			}
+			plan, fin, err := figure1Plan(fcfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			return plan, func(points []PointResult) (*Result, error) {
+				series, err := fin(points)
+				if err != nil {
+					return nil, err
+				}
+				res := &Result{Rows: series, Table: Figure1Table(series)}
+				for _, s := range series {
+					if s.HasFit {
+						res.Notes = append(res.Notes, fmt.Sprintf(
+							"d=%d verdict %s; linear %s; nlogn %s",
+							s.Degree, s.Verdict, s.Growth.Linear.String(), s.Growth.NLogN.String()))
+					}
+				}
+				return res, nil
+			}, nil
+		}})
+}
+
 // Figure1 regenerates the paper's Figure 1: the normalised vertex cover
 // time C_V/n of the uniform-rule E-process on random d-regular graphs,
-// as a function of n, for each degree.
+// as a function of n, for each degree. The registry's "fig1" entry runs
+// the same sweep through the uniform Experiment surface; this typed
+// entry point remains for custom (Degrees, Ns) grids (cmd/figure1).
 func Figure1(cfg Figure1Config) ([]Figure1Series, error) {
 	plan, finish, err := figure1Plan(cfg.withDefaults())
 	if err != nil {

@@ -59,8 +59,9 @@ type Measurement struct {
 	Edge   float64 // edge cover time in steps
 }
 
-// Result aggregates a trial batch.
-type Result struct {
+// ArmResult aggregates one arm's trial batch. (The registry-level
+// outcome of a whole experiment is Result in registry.go.)
+type ArmResult struct {
 	Measurements []Measurement
 	VertexStats  stats.Summary
 	EdgeStats    stats.Summary
@@ -68,9 +69,9 @@ type Result struct {
 
 // runSinglePoint executes a one-point, one-arm plan — the legacy
 // trial-batch shape Run and RunVertexOnly expose.
-func runSinglePoint(cfg Config, gf GraphFactory, arm Arm) (Result, error) {
+func runSinglePoint(cfg Config, gf GraphFactory, arm Arm) (ArmResult, error) {
 	if gf == nil || arm.Run == nil {
-		return Result{}, errors.New("sim: nil factory")
+		return ArmResult{}, errors.New("sim: nil factory")
 	}
 	plan := SweepPlan{
 		Config: cfg,
@@ -78,7 +79,7 @@ func runSinglePoint(cfg Config, gf GraphFactory, arm Arm) (Result, error) {
 	}
 	points, err := plan.Run()
 	if err != nil {
-		return Result{}, err
+		return ArmResult{}, err
 	}
 	return points[0].Arms[0], nil
 }
@@ -86,18 +87,18 @@ func runSinglePoint(cfg Config, gf GraphFactory, arm Arm) (Result, error) {
 // Run executes cfg.Trials independent trials: build a graph, build the
 // process at start vertex 0, and measure vertex and edge cover times
 // from a single trajectory per trial.
-func Run(cfg Config, gf GraphFactory, pf ProcessFactory) (Result, error) {
+func Run(cfg Config, gf GraphFactory, pf ProcessFactory) (ArmResult, error) {
 	if pf == nil {
-		return Result{}, errors.New("sim: nil factory")
+		return ArmResult{}, errors.New("sim: nil factory")
 	}
 	return runSinglePoint(cfg, gf, CoverArm("cover", pf))
 }
 
 // RunVertexOnly is Run but measures only vertex cover (cheaper when the
 // edge cover tail is irrelevant, e.g. SRW baselines on large graphs).
-func RunVertexOnly(cfg Config, gf GraphFactory, pf ProcessFactory) (Result, error) {
+func RunVertexOnly(cfg Config, gf GraphFactory, pf ProcessFactory) (ArmResult, error) {
 	if pf == nil {
-		return Result{}, errors.New("sim: nil factory")
+		return ArmResult{}, errors.New("sim: nil factory")
 	}
 	return runSinglePoint(cfg, gf, VertexArm("vertex-cover", pf))
 }

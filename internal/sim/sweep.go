@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -192,8 +193,8 @@ type PointResult struct {
 	// is literally the graph arm measurements ran on, not a re-rolled
 	// lookalike.
 	Rep *graph.Graph
-	// Arms holds one Result per PointSpec arm, in order.
-	Arms []Result
+	// Arms holds one ArmResult per PointSpec arm, in order.
+	Arms []ArmResult
 }
 
 // SweepPlan is a point-level sweep: a set of PointSpecs executed on one
@@ -229,34 +230,82 @@ func (pl *SweepPlan) Seeds() []uint64 {
 // runUnits fans n independent work units out over a pool of `workers`
 // goroutines, each owning one walk.CoverScratch for its lifetime, and
 // joins every unit's error — a failing unit never masks the others.
-func runUnits(workers, n int, fn func(unit int, sc *walk.CoverScratch) error) error {
+// Cancelling ctx stops the feed promptly: in-flight units finish, queued
+// units are skipped, every worker exits, and ctx.Err() is returned.
+// onDone, when non-nil, is invoked once per completed unit with the
+// cumulative completion count; calls are serialised by a mutex but may
+// originate from any worker, so unit order is not implied.
+func runUnits(ctx context.Context, workers, n int, onDone func(done int), fn func(unit int, sc *walk.CoverScratch) error) error {
 	if workers > n {
 		workers = n
 	}
 	units := make(chan int)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
+	var mu sync.Mutex
+	completed := 0
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			var sc walk.CoverScratch
 			for u := range units {
+				if ctx.Err() != nil {
+					continue // drain the queue without running
+				}
 				errs[u] = fn(u, &sc)
+				if onDone != nil {
+					// The callback runs under the lock so invocations
+					// are serialised, as RunOptions.Progress documents;
+					// callbacks should therefore be quick.
+					mu.Lock()
+					completed++
+					onDone(completed)
+					mu.Unlock()
+				}
 			}
 		}()
 	}
+feed:
 	for u := 0; u < n; u++ {
-		units <- u
+		select {
+		case units <- u:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(units)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	return errors.Join(errs...)
 }
 
+// RunOptions tunes RunContext beyond the plan's own Config.
+type RunOptions struct {
+	// Progress, when non-nil, is called after each completed
+	// (point, trial) unit with the cumulative number of completed units
+	// and the total unit count. Calls are serialised (no locking needed
+	// in the callback) but may arrive from any worker goroutine, so the
+	// order units complete in is scheduler-dependent; the final call is
+	// always (total, total) on an uncancelled run.
+	Progress func(done, total int)
+}
+
 // Run executes the plan and returns one PointResult per point, in point
-// order.
+// order. It is RunContext with a background context and no options.
 func (pl *SweepPlan) Run() ([]PointResult, error) {
+	return pl.RunContext(context.Background(), RunOptions{})
+}
+
+// RunContext executes the plan under ctx. Cancellation is prompt: the
+// pool stops scheduling new (point, trial) units, in-flight units run to
+// completion, all workers drain and exit (no goroutine leaks), and
+// ctx.Err() is returned. A completed run under context.Background() is
+// identical to Run(): results are a pure function of the Config's
+// master seed either way.
+func (pl *SweepPlan) RunContext(ctx context.Context, opts RunOptions) ([]PointResult, error) {
 	cfg := pl.Config.withDefaults()
 	type unit struct{ point, trial int }
 	var units []unit
@@ -268,7 +317,7 @@ func (pl *SweepPlan) Run() ([]PointResult, error) {
 		}
 		trials := pt.trials(cfg)
 		results[pi].Key = pt.Key
-		results[pi].Arms = make([]Result, len(pt.Arms))
+		results[pi].Arms = make([]ArmResult, len(pt.Arms))
 		for ai := range pt.Arms {
 			if pt.Arms[ai].Run == nil {
 				return nil, fmt.Errorf("sim: point %q arm %q: nil arm func", pt.Key, pt.Arms[ai].Name)
@@ -279,7 +328,12 @@ func (pl *SweepPlan) Run() ([]PointResult, error) {
 			units = append(units, unit{pi, t})
 		}
 	}
-	err := runUnits(cfg.Workers, len(units), func(u int, sc *walk.CoverScratch) error {
+	var onDone func(int)
+	if opts.Progress != nil {
+		total := len(units)
+		onDone = func(done int) { opts.Progress(done, total) }
+	}
+	err := runUnits(ctx, cfg.Workers, len(units), onDone, func(u int, sc *walk.CoverScratch) error {
 		pt := &pl.Points[units[u].point]
 		trial := units[u].trial
 		g, err := pt.Graph(rand.New(rng.NewSource(cfg.Kind, pt.graphSeed(cfg, trial))))

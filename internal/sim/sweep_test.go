@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -14,35 +15,25 @@ import (
 	"repro/internal/walk"
 )
 
-// allExperimentPlans enumerates every experiment's sweep plan — the
-// `sweep -exp all` surface — without running any of them.
+// allExperimentPlans enumerates every registered experiment's sweep
+// plan — the whole `sweep -exp all` surface, Figure 1 included —
+// without running any of them. Enumerating through Registry() means a
+// newly registered experiment is automatically subject to the
+// seed-distinctness regression below.
 func allExperimentPlans(cfg ExpConfig) []*SweepPlan {
-	cfg = cfg.withDefaults()
-	p1, _ := theorem1Plan(cfg)
-	p2, _ := radzikPlan(cfg)
-	p3, _ := corollary2Plan(cfg)
-	p4, _ := edgeSandwichPlan(cfg)
-	p5, _ := theorem3Plan(cfg)
-	p6, _ := corollary4Plan(cfg)
-	p7, _ := hypercubePlan(cfg)
-	p8, _ := oddStarsPlan(cfg)
-	p9, _ := ruleIndependencePlan(cfg)
-	p10, _ := randomRegularPropertiesPlan(cfg)
-	p11, _ := greedyWalkPlan(cfg)
-	p12, _ := processComparisonPlan(cfg)
-	p13, _ := edgeVsVertexPlan(cfg)
-	p14, _ := ablationGrowthPlan(cfg)
-	p15, _ := biasSweepPlan(cfg)
-	p16, _ := blanketTimePlan(cfg)
-	p17, _ := lemma13Plan(cfg)
-	p18, _ := phaseStructurePlan(cfg)
-	p19, _ := degreeSequencePlan(cfg)
-	f1, _, err := figure1Plan(Figure1Config{Seed: cfg.Seed, Trials: cfg.Trials}.withDefaults())
-	if err != nil {
-		panic(err)
+	reg := Registry()
+	if len(reg) < 20 {
+		panic(fmt.Sprintf("registry has only %d experiments", len(reg)))
 	}
-	return []*SweepPlan{p1, p2, p3, p4, p5, p6, p7, p8, p9, p10,
-		p11, p12, p13, p14, p15, p16, p17, p18, p19, f1}
+	plans := make([]*SweepPlan, 0, len(reg))
+	for _, e := range reg {
+		plan, _, err := e.Plan(cfg)
+		if err != nil {
+			panic(fmt.Sprintf("%s: %v", e.Name, err))
+		}
+		plans = append(plans, plan)
+	}
+	return plans
 }
 
 // Regression test for the seed-salt collision class of bugs (the
@@ -221,45 +212,22 @@ func TestAllExperimentTablesWorkerInvariant(t *testing.T) {
 		}
 		return buf.String()
 	}
-	type tableFn struct {
-		name string
-		run  func(ExpConfig) (*Table, error)
-	}
-	fns := []tableFn{
-		{"thm1", func(c ExpConfig) (*Table, error) { _, tb, err := ExpTheorem1(c); return tb, err }},
-		{"radzik", func(c ExpConfig) (*Table, error) { _, tb, err := ExpRadzikSpeedup(c); return tb, err }},
-		{"cor2", func(c ExpConfig) (*Table, error) { _, tb, err := ExpCorollary2(c); return tb, err }},
-		{"eq3", func(c ExpConfig) (*Table, error) { _, tb, err := ExpEdgeSandwich(c); return tb, err }},
-		{"thm3", func(c ExpConfig) (*Table, error) { _, tb, err := ExpTheorem3(c); return tb, err }},
-		{"cor4", func(c ExpConfig) (*Table, error) { _, tb, err := ExpCorollary4(c); return tb, err }},
-		{"hcube", func(c ExpConfig) (*Table, error) { _, tb, err := ExpHypercube(c); return tb, err }},
-		{"star", func(c ExpConfig) (*Table, error) { _, tb, err := ExpOddStars(c); return tb, err }},
-		{"rulea", func(c ExpConfig) (*Table, error) { _, tb, err := ExpRuleIndependence(c); return tb, err }},
-		{"p1p2", func(c ExpConfig) (*Table, error) { _, tb, err := ExpRandomRegularProperties(c); return tb, err }},
-		{"grw", func(c ExpConfig) (*Table, error) { _, tb, err := ExpGreedyWalk(c); return tb, err }},
-		{"compare", func(c ExpConfig) (*Table, error) { _, tb, err := ExpProcessComparison(c); return tb, err }},
-		{"ablation", func(c ExpConfig) (*Table, error) { _, tb, err := ExpEdgeVsVertexPreference(c); return tb, err }},
-		{"growth", func(c ExpConfig) (*Table, error) { _, tb, err := ExpAblationGrowth(c); return tb, err }},
-		{"bias", func(c ExpConfig) (*Table, error) { _, tb, err := ExpBiasSweep(c); return tb, err }},
-		{"eq4", func(c ExpConfig) (*Table, error) { _, tb, err := ExpBlanketTime(c); return tb, err }},
-		{"lemma13", func(c ExpConfig) (*Table, error) { _, tb, err := ExpLemma13(c); return tb, err }},
-		{"phases", func(c ExpConfig) (*Table, error) { _, tb, err := ExpPhaseStructure(c); return tb, err }},
-		{"degseq", func(c ExpConfig) (*Table, error) { _, tb, _, err := ExpDegreeSequence(c); return tb, err }},
-	}
+	exps := Registry()
 	if testing.Short() {
-		fns = fns[:6]
+		exps = exps[:6]
 	}
-	for _, fn := range fns {
-		serial, err := fn.run(ExpConfig{Seed: 77, Trials: 2, Scale: 1, Workers: 1})
-		if err != nil {
-			t.Fatalf("%s workers=1: %v", fn.name, err)
+	for _, e := range exps {
+		run := func(workers int) *Result {
+			t.Helper()
+			res, err := e.Run(context.Background(), ExpConfig{Seed: 77, Trials: 2, Scale: 1, Workers: workers}, RunOptions{})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", e.Name, workers, err)
+			}
+			return res
 		}
-		parallel, err := fn.run(ExpConfig{Seed: 77, Trials: 2, Scale: 1, Workers: 8})
-		if err != nil {
-			t.Fatalf("%s workers=8: %v", fn.name, err)
-		}
-		if a, b := render(serial), render(parallel); a != b {
-			t.Errorf("%s: table differs between Workers=1 and Workers=8:\n--- serial ---\n%s--- parallel ---\n%s", fn.name, a, b)
+		serial, parallel := run(1), run(8)
+		if a, b := render(serial.Table), render(parallel.Table); a != b {
+			t.Errorf("%s: table differs between Workers=1 and Workers=8:\n--- serial ---\n%s--- parallel ---\n%s", e.Name, a, b)
 		}
 	}
 }

@@ -7,10 +7,11 @@ import (
 )
 
 // Table is a simple aligned-text / CSV table for experiment output.
+// The JSON tags give Result's encoding a stable lower-case schema.
 type Table struct {
-	Title   string
-	Headers []string
-	Rows    [][]string
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
 }
 
 // NewTable returns a table with the given title and column headers.

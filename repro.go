@@ -15,8 +15,12 @@
 //   - the paper's analysis machinery (ℓ-goodness, blue components,
 //     cycle census, theorem bounds, verified invariant runs);
 //   - spectral quantities (λ2, λmax, eigenvalue gap, conductance);
-//   - the experiment harness that regenerates Figure 1 and every
-//     quantitative claim (see EXPERIMENTS.md).
+//   - the experiment registry that regenerates Figure 1 and every
+//     quantitative claim: Experiments enumerates the registered
+//     experiments (the generated index is EXPERIMENTS.md; `go run
+//     ./cmd/sweep -list` prints the authoritative live list) and
+//     RunExperiment runs one by name under a context, with prompt
+//     cancellation and per-unit progress reporting.
 //
 // Quick start:
 //
@@ -27,6 +31,12 @@
 //	p := repro.NewEProcess(g, r, repro.Uniform{}, 0)
 //	steps, err := repro.VertexCoverSteps(p, 0)
 //	fmt.Printf("covered %d vertices in %d steps\n", g.N(), steps)
+//
+// Running a registered experiment:
+//
+//	res, err := repro.RunExperiment(ctx, "thm1", repro.ExpConfig{Seed: 2012})
+//	if err != nil { ... }
+//	res.Table.WriteText(os.Stdout)    // or res.WriteJSON(w)
 package repro
 
 import (
@@ -36,9 +46,39 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/rng"
+	"repro/internal/sim"
 	"repro/internal/spectral"
 	"repro/internal/trace"
 	"repro/internal/walk"
+)
+
+// Experiment harness: the registry of the paper's experimental record.
+type (
+	// Experiment is one registered experiment (name, description, seed
+	// namespace, plan).
+	Experiment = sim.Experiment
+	// ExpConfig parameterises an experiment run (master seed, trials,
+	// scale, workers).
+	ExpConfig = sim.ExpConfig
+	// ExperimentResult is an experiment's uniform outcome: typed rows,
+	// rendered table, notes, and a stable JSON encoding.
+	ExperimentResult = sim.Result
+	// ExperimentTable is the rendered table of an experiment.
+	ExperimentTable = sim.Table
+	// RunOptions carries the per-unit Progress callback.
+	RunOptions = sim.RunOptions
+)
+
+var (
+	// Experiments returns every registered experiment in canonical
+	// order (the 19 claim experiments, then Figure 1).
+	Experiments = sim.Registry
+	// LookupExperiment finds a registered experiment by name.
+	LookupExperiment = sim.Lookup
+	// RunExperiment runs the named experiment under ctx; cancellation
+	// is prompt and leak-free, and the result is a pure function of
+	// the config's master seed.
+	RunExperiment = sim.RunExperiment
 )
 
 // Graph types.
