@@ -61,6 +61,22 @@ func TestReportJSONShape(t *testing.T) {
 	}
 }
 
+// The footprint probe must report the packed layout: 8-byte halves and
+// a resident hot state below the former 16-byte-Half layout's floor
+// (two 16-byte copies of every half alone put it past 32 B/half).
+func TestMeasureFootprintPackedLayout(t *testing.T) {
+	res := measureFootprint(500, 4)
+	if res.HalfBytes != 8 {
+		t.Fatalf("sizeof(graph.Half) = %d, want 8", res.HalfBytes)
+	}
+	if res.HeapBytes <= 0 || res.PeakAllocObjs <= 0 || res.PeakAllocByte <= 0 {
+		t.Fatalf("implausible footprint %+v", res)
+	}
+	if res.BytesPerHalf >= 32 {
+		t.Errorf("bytes per half = %.1f, want below the 16-byte-Half layout's 32", res.BytesPerHalf)
+	}
+}
+
 // mustRegular must stay deterministic: the benchmarks compare runs.
 func TestMustRegularDeterministic(t *testing.T) {
 	a, b := mustRegular(60, 4, 7), mustRegular(60, 4, 7)

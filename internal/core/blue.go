@@ -147,14 +147,15 @@ func MaximalBlueSubgraph(e *walk.EProcess, v int) (edges []int, vertices []int, 
 		x := queue[0]
 		queue = queue[1:]
 		for _, h := range g.Adj(x) {
-			if e.EdgeVisited(h.ID) || seenE[h.ID] {
+			id, to := int(h.ID), int(h.To)
+			if e.EdgeVisited(id) || seenE[id] {
 				continue
 			}
-			seenE[h.ID] = true
-			edges = append(edges, h.ID)
-			if !seenV[h.To] {
-				seenV[h.To] = true
-				queue = append(queue, h.To)
+			seenE[id] = true
+			edges = append(edges, id)
+			if !seenV[to] {
+				seenV[to] = true
+				queue = append(queue, to)
 			}
 		}
 	}

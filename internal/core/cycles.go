@@ -92,8 +92,8 @@ func Census(g *graph.Graph, maxLen, cap int) ([]Cycle, error) {
 				return
 			}
 			for _, h := range g.Adj(v) {
-				w := h.To
-				if w < root || (len(pathE) > 0 && h.ID == pathE[len(pathE)-1]) {
+				w := int(h.To)
+				if w < root || (len(pathE) > 0 && int(h.ID) == pathE[len(pathE)-1]) {
 					continue
 				}
 				if w == root && len(pathV) >= 3 {
@@ -102,7 +102,7 @@ func Census(g *graph.Graph, maxLen, cap int) ([]Cycle, error) {
 					if pathV[1] < pathV[len(pathV)-1] {
 						cyc := Cycle{
 							Vertices: append([]int(nil), pathV...),
-							Edges:    append(append([]int(nil), pathE...), h.ID),
+							Edges:    append(append([]int(nil), pathE...), int(h.ID)),
 						}
 						out = append(out, cyc)
 						if len(out) >= cap {
@@ -121,7 +121,7 @@ func Census(g *graph.Graph, maxLen, cap int) ([]Cycle, error) {
 				}
 				onPath[w] = true
 				pathV = append(pathV, w)
-				pathE = append(pathE, h.ID)
+				pathE = append(pathE, int(h.ID))
 				dfs(w)
 				onPath[w] = false
 				pathV = pathV[:len(pathV)-1]
@@ -151,12 +151,13 @@ func boundedBFS(g *graph.Graph, root, radius int) map[int]int {
 			continue
 		}
 		for _, h := range g.Adj(v) {
-			if h.To < root {
+			w := int(h.To)
+			if w < root {
 				continue
 			}
-			if _, ok := dist[h.To]; !ok {
-				dist[h.To] = dist[v] + 1
-				queue = append(queue, h.To)
+			if _, ok := dist[w]; !ok {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
 			}
 		}
 	}

@@ -54,7 +54,7 @@ func ExactHittingTimes(g *graph.Graph, target int) ([]float64, error) {
 		b[i] = 1
 		share := 1 / float64(g.Degree(v))
 		for _, h := range g.Adj(v) {
-			if h.To == target {
+			if int(h.To) == target {
 				continue
 			}
 			j := idx[h.To]
@@ -190,7 +190,7 @@ func solveSubset(g *graph.Graph, s int, memo map[int][]float64) ([]float64, erro
 		share := 1 / float64(g.Degree(v))
 		for _, h := range g.Adj(v) {
 			if s&(1<<uint(h.To)) != 0 {
-				j := idx[h.To]
+				j := idx[int(h.To)]
 				a.Set(i, j, a.At(i, j)-share)
 			} else {
 				next := s | 1<<uint(h.To)
@@ -234,7 +234,7 @@ func subsetConnectedReachable(g *graph.Graph, s, start int) bool {
 			bit := 1 << uint(h.To)
 			if s&bit != 0 && seen&bit == 0 {
 				seen |= bit
-				queue = append(queue, h.To)
+				queue = append(queue, int(h.To))
 			}
 		}
 	}

@@ -109,9 +109,9 @@ func checkEvenBlue(e *walk.EProcess, v int) error {
 			ErrInvariant, e.BlueDegree(v), v)
 	}
 	for _, h := range g.Adj(v) {
-		if e.BlueDegree(h.To)%2 != 0 {
+		if e.BlueDegree(int(h.To))%2 != 0 {
 			return fmt.Errorf("%w: odd blue degree %d at neighbour %d (Observation 11)",
-				ErrInvariant, e.BlueDegree(h.To), h.To)
+				ErrInvariant, e.BlueDegree(int(h.To)), h.To)
 		}
 	}
 	return nil
@@ -131,19 +131,19 @@ func IsolatedStarCenters(e *walk.EProcess) []int {
 		}
 		isStar := true
 		for _, h := range g.Adj(v) {
-			if h.To == v {
+			if int(h.To) == v {
 				isStar = false // loop: not a star shape
 				break
 			}
 			// Neighbour must have blue degree exactly the multiplicity
 			// of its edges to v (all other incident edges visited).
 			blueToV := 0
-			for _, hh := range g.Adj(h.To) {
-				if !e.EdgeVisited(hh.ID) && hh.To == v {
+			for _, hh := range g.Adj(int(h.To)) {
+				if !e.EdgeVisited(int(hh.ID)) && int(hh.To) == v {
 					blueToV++
 				}
 			}
-			if e.BlueDegree(h.To) != blueToV {
+			if e.BlueDegree(int(h.To)) != blueToV {
 				isStar = false
 				break
 			}

@@ -45,7 +45,7 @@ func LGoodVertex(g *graph.Graph, v, horizon int, cycles []Cycle) LGoodResult {
 	// cover (loops at v cover two endpoints with a single 1-cycle).
 	incident := make(map[int]bool, d)
 	for _, h := range g.Adj(v) {
-		incident[h.ID] = true
+		incident[int(h.ID)] = true
 	}
 
 	best := math.MaxInt
@@ -238,9 +238,9 @@ func combinedSize(g *graph.Graph, a, b Cycle, sMax int) int {
 			return union + dist[v] - 1 // interior vertices of the path
 		}
 		for _, h := range g.Adj(v) {
-			if _, ok := dist[h.To]; !ok {
-				dist[h.To] = dist[v] + 1
-				queue = append(queue, h.To)
+			if _, ok := dist[int(h.To)]; !ok {
+				dist[int(h.To)] = dist[v] + 1
+				queue = append(queue, int(h.To))
 			}
 		}
 	}

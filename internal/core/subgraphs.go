@@ -44,7 +44,7 @@ func CountRootedSubgraphs(g *graph.Graph, v, s, cap int) (int, error) {
 		best, found := -1, false
 		for u := range inSet {
 			for _, h := range g.Adj(u) {
-				w := h.To
+				w := int(h.To)
 				if inSet[w] || excluded[w] {
 					continue
 				}
@@ -198,10 +198,10 @@ func LeafPathsThroughRoot(g *graph.Graph, v, ell int) ([][]int, error) {
 			continue
 		}
 		for _, h := range g.Adj(x) {
-			if _, seen := depth[h.To]; !seen {
-				depth[h.To] = depth[x] + 1
-				parent[h.To] = x
-				queue = append(queue, h.To)
+			if _, seen := depth[int(h.To)]; !seen {
+				depth[int(h.To)] = depth[x] + 1
+				parent[int(h.To)] = x
+				queue = append(queue, int(h.To))
 			}
 		}
 	}

@@ -39,14 +39,14 @@ func (g *Graph) Bridges() []int {
 			if f.adjIndex < len(adj) {
 				h := adj[f.adjIndex]
 				f.adjIndex++
-				if h.ID == f.parentEdge {
+				if int(h.ID) == f.parentEdge {
 					continue // the tree edge we came in on (by ID, so parallels count)
 				}
 				if disc[h.To] == -1 {
 					disc[h.To] = timer
 					low[h.To] = timer
 					timer++
-					stack = append(stack, frame{v: h.To, parentEdge: h.ID})
+					stack = append(stack, frame{v: int(h.To), parentEdge: int(h.ID)})
 				} else if disc[h.To] < low[f.v] {
 					low[f.v] = disc[h.To]
 				}

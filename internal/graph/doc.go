@@ -29,6 +29,23 @@
 // Freezing is idempotent, and a frozen graph thaws transparently when
 // mutated again (AddEdge), at O(n+m) for the first mutation.
 //
+// # The 32-bit Half contract
+//
+// Half packs its edge ID and far endpoint into uint32 fields — 8 bytes
+// per half instead of 16 — halving the bytes every adjacency scan and
+// pending-arena copy streams through cache. The price is a size bound:
+// n ≤ MaxSize (2^31−1) and m ≤ MaxEdges (so the 2m half-edges fit the
+// int32 CSR offset range), which New, NewFromEdges and AddEdge
+// validate at construction time — a successfully built graph can
+// always Freeze, and a Half field converts to int losslessly
+// everywhere. Callers must not assume the fields are machine-word
+// sized: code holding a Half field in an int context converts
+// explicitly (int(h.To), int(h.ID)). A MaxEdges-sized graph is ~17 GiB
+// of CSR halves — ~34 GiB once the walk engine's pending arena holds
+// its second copy — beyond any single-machine experiment here; a wider
+// layout would be a deliberate new storage state, not a field type
+// change.
+//
 // The package also provides the structural queries the paper's analysis
 // needs: connectivity, bipartiteness (which decides whether the walk
 // must be made lazy), girth, induced and edge-induced subgraphs,

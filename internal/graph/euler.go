@@ -61,7 +61,7 @@ func (g *Graph) EulerCircuit(start int) ([]int, error) {
 				continue
 			}
 			used[h.ID] = true
-			stack = append(stack, frame{v: h.To, inEdge: h.ID})
+			stack = append(stack, frame{v: int(h.To), inEdge: int(h.ID)})
 			advanced = true
 			break
 		}

@@ -49,13 +49,13 @@ func (g *Graph) Girth() int {
 				break
 			}
 			for _, h := range g.Adj(v) {
-				if h.ID == parentEdge[v] {
+				if int(h.ID) == parentEdge[v] {
 					continue
 				}
 				if dist[h.To] == -1 {
 					dist[h.To] = dist[v] + 1
-					parentEdge[h.To] = h.ID
-					queue = append(queue, h.To)
+					parentEdge[h.To] = int(h.ID)
+					queue = append(queue, int(h.To))
 				} else {
 					// Non-tree edge: cycle of length dist[v]+dist[to]+1.
 					cyc := dist[v] + dist[h.To] + 1

@@ -10,6 +10,18 @@ import (
 var (
 	ErrVertexRange = errors.New("graph: vertex out of range")
 	ErrNoVertices  = errors.New("graph: graph must have at least one vertex")
+	ErrTooLarge    = errors.New("graph: size exceeds the 32-bit half-edge layout (n ≤ MaxSize, m ≤ MaxEdges)")
+)
+
+// MaxSize bounds the vertex count and MaxEdges the edge count: Half
+// packs the edge ID and far endpoint into uint32 fields and the CSR
+// offset table is int32, so n may not exceed 2^31−1 and the 2m
+// half-edges must fit the same range (m ≤ (2^31−1)/2). New,
+// NewFromEdges and AddEdge enforce the bounds at construction time, so
+// a successfully built graph can always Freeze.
+const (
+	MaxSize  = math.MaxInt32
+	MaxEdges = MaxSize / 2
 )
 
 // Edge is an undirected edge between vertices U and V. A loop has U == V.
@@ -36,9 +48,16 @@ func (e Edge) IsLoop() bool { return e.U == e.V }
 // Half is a half-edge (dart): the occurrence of edge ID at a vertex,
 // pointing at the opposite endpoint To. A loop at v contributes two
 // halves at v, both with To == v.
+//
+// The fields are packed uint32s — 8 bytes per half instead of 16 —
+// because the CSR adjacency and the walk engine's pending arenas are
+// the dominant hot-state memory traffic at experiment scale. The
+// constructors guarantee n ≤ MaxSize and m ≤ MaxEdges, so converting a
+// field to int is always lossless; callers must not assume the fields
+// are machine-word sized.
 type Half struct {
-	ID int // edge index into the graph's edge array
-	To int // opposite endpoint
+	ID uint32 // edge index into the graph's edge array
+	To uint32 // opposite endpoint
 }
 
 // Graph is an undirected multigraph with loops. The zero value is an
@@ -76,10 +95,15 @@ type Graph struct {
 	frozen bool
 }
 
-// New returns a graph with n isolated vertices and no edges.
+// New returns a graph with n isolated vertices and no edges. It panics
+// when n exceeds MaxSize: vertex indices must fit the 32-bit Half
+// layout.
 func New(n int) *Graph {
 	if n <= 0 {
 		panic(ErrNoVertices)
+	}
+	if n > MaxSize {
+		panic(fmt.Errorf("%w: n=%d", ErrTooLarge, n))
 	}
 	return &Graph{n: n, adj: make([][]Half, n)}
 }
@@ -89,6 +113,9 @@ func New(n int) *Graph {
 func NewFromEdges(n int, edges []Edge) (*Graph, error) {
 	if n <= 0 {
 		return nil, ErrNoVertices
+	}
+	if n > MaxSize {
+		return nil, fmt.Errorf("%w: n=%d", ErrTooLarge, n)
 	}
 	g := New(n)
 	for _, e := range edges {
@@ -190,11 +217,14 @@ func (g *Graph) AddEdge(u, v int) error {
 	if u < 0 || u >= g.n || v < 0 || v >= g.n {
 		return fmt.Errorf("%w: edge {%d,%d} in graph of %d vertices", ErrVertexRange, u, v, g.n)
 	}
+	if len(g.edges) >= MaxEdges {
+		return fmt.Errorf("%w: m=%d", ErrTooLarge, len(g.edges))
+	}
 	g.thaw()
-	id := len(g.edges)
+	id := uint32(len(g.edges))
 	g.edges = append(g.edges, Edge{U: u, V: v})
-	g.adj[u] = append(g.adj[u], Half{ID: id, To: v})
-	g.adj[v] = append(g.adj[v], Half{ID: id, To: u})
+	g.adj[u] = append(g.adj[u], Half{ID: id, To: uint32(v)})
+	g.adj[v] = append(g.adj[v], Half{ID: id, To: uint32(u)})
 	return nil
 }
 
@@ -234,7 +264,7 @@ func (g *Graph) Neighbors(v int) []int {
 	adj := g.Adj(v)
 	out := make([]int, len(adj))
 	for i, h := range adj {
-		out[i] = h.To
+		out[i] = int(h.To)
 	}
 	return out
 }
@@ -246,7 +276,7 @@ func (g *Graph) HasEdge(u, v int) bool {
 		u, v = v, u
 	}
 	for _, h := range g.Adj(u) {
-		if h.To == v {
+		if int(h.To) == v {
 			return true
 		}
 	}
@@ -258,7 +288,7 @@ func (g *Graph) HasEdge(u, v int) bool {
 func (g *Graph) EdgeMultiplicity(u, v int) int {
 	count := 0
 	for _, h := range g.Adj(u) {
-		if h.To == v {
+		if int(h.To) == v {
 			count++
 		}
 	}
@@ -387,11 +417,11 @@ func (g *Graph) Validate() error {
 	halves := 0
 	for v := 0; v < g.n; v++ {
 		for _, h := range g.Adj(v) {
-			if h.ID < 0 || h.ID >= len(g.edges) {
+			if int(h.ID) >= len(g.edges) {
 				return fmt.Errorf("graph: vertex %d references edge %d out of range", v, h.ID)
 			}
 			e := g.edges[h.ID]
-			if (e.U != v && e.V != v) || e.Other(v) != h.To {
+			if (e.U != v && e.V != v) || e.Other(v) != int(h.To) {
 				return fmt.Errorf("graph: half-edge %+v at vertex %d inconsistent with edge %+v", h, v, e)
 			}
 			halves++

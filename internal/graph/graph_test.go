@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -46,6 +47,21 @@ func TestNewPanicsOnNonPositive(t *testing.T) {
 		}
 	}()
 	New(0)
+}
+
+// The 32-bit Half contract: constructors reject n beyond MaxSize
+// before allocating anything (m beyond MaxSize is unreachable in a
+// test, but shares the same ErrTooLarge gate in AddEdge).
+func TestNewRejectsOversizedGraphs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(MaxSize+1) did not panic")
+		}
+	}()
+	if _, err := NewFromEdges(MaxSize+1, nil); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("NewFromEdges(MaxSize+1) err = %v, want ErrTooLarge", err)
+	}
+	New(MaxSize + 1)
 }
 
 func TestAddEdgeRangeError(t *testing.T) {

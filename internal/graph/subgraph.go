@@ -122,10 +122,10 @@ func (g *Graph) BallAround(v, radius int) (ball, leaves []int) {
 			continue
 		}
 		for _, h := range g.Adj(x) {
-			if _, ok := dist[h.To]; !ok {
-				dist[h.To] = dist[x] + 1
-				ball = append(ball, h.To)
-				queue = append(queue, h.To)
+			if _, ok := dist[int(h.To)]; !ok {
+				dist[int(h.To)] = dist[x] + 1
+				ball = append(ball, int(h.To))
+				queue = append(queue, int(h.To))
 			}
 		}
 	}

@@ -16,7 +16,7 @@ func (g *Graph) BFSFrom(root int) []int {
 		for _, h := range g.Adj(v) {
 			if dist[h.To] == -1 {
 				dist[h.To] = dist[v] + 1
-				queue = append(queue, h.To)
+				queue = append(queue, int(h.To))
 			}
 		}
 	}
@@ -55,7 +55,7 @@ func (g *Graph) Components() (label []int, count int) {
 			for _, h := range g.Adj(x) {
 				if label[h.To] == -1 {
 					label[h.To] = count
-					queue = append(queue, h.To)
+					queue = append(queue, int(h.To))
 				}
 			}
 		}
@@ -79,12 +79,12 @@ func (g *Graph) IsBipartite() bool {
 			v := queue[0]
 			queue = queue[1:]
 			for _, h := range g.Adj(v) {
-				if h.To == v {
+				if int(h.To) == v {
 					return false // loop: odd closed walk of length 1
 				}
 				if side[h.To] == 0 {
 					side[h.To] = 3 - side[v]
-					queue = append(queue, h.To)
+					queue = append(queue, int(h.To))
 				} else if side[h.To] == side[v] {
 					return false
 				}

@@ -89,6 +89,7 @@ const (
 	saltPHASES
 	saltDEGSEQ
 	saltFIG1
+	saltSCALECOVER
 )
 
 // ArmFunc measures one arm of an experiment point on one trial. g is

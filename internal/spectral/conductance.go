@@ -145,7 +145,7 @@ func SweepConductance(g *graph.Graph, opts Options) (float64, error) {
 		inX[v] = true
 		dX += g.Degree(v)
 		for _, h := range g.Adj(v) {
-			if h.To == v {
+			if int(h.To) == v {
 				continue // loop never crosses the cut
 			}
 			if inX[h.To] {

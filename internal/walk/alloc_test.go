@@ -27,6 +27,21 @@ func TestEProcessStepMathRandZeroAllocs(t *testing.T) {
 	}
 }
 
+// The fused Uniform prune+choose blue path must allocate nothing. A
+// fresh E-process on a large graph takes (almost) only blue steps, so
+// pinning allocations over the first m/2 steps pins the fused path
+// specifically; the BlueSteps count proves the fast path actually ran.
+func TestFusedBlueStepZeroAllocs(t *testing.T) {
+	g := mustRegular(t, newRand(21), 2000, 4)
+	e := NewEProcess(g, rng.NewXoshiro256(22), nil, 0)
+	if allocs := testing.AllocsPerRun(g.M()/2, func() { e.Step() }); allocs != 0 {
+		t.Errorf("fused blue step allocates %.1f objects per call, want 0", allocs)
+	}
+	if s := e.Stats(); s.BlueSteps == 0 {
+		t.Fatalf("no blue steps taken (stats %+v); the fused path was never exercised", s)
+	}
+}
+
 func TestSimpleStepZeroAllocs(t *testing.T) {
 	g := mustRegular(t, newRand(3), 500, 4)
 	w := NewSimple(g, rng.NewXoshiro256(4), 0)

@@ -1,6 +1,9 @@
 package walk
 
-import "repro/internal/graph"
+import (
+	"repro/internal/bits"
+	"repro/internal/graph"
+)
 
 // reuse returns a zeroed length-n slice, recycling s's storage when
 // its capacity suffices — the walk package's standard pattern for
@@ -58,11 +61,12 @@ func (a *edgeArena) pending(v int) []graph.Half {
 }
 
 // prune deletes (by swap with the block's last element) every pending
-// half of v whose edge is already visited.
-func (a *edgeArena) prune(v int, visited []bool) {
+// half of v whose edge is already visited. On an empty block the loop
+// body never runs, so callers need no emptiness pre-check.
+func (a *edgeArena) prune(v int, visited *bits.Set) {
 	lo, hi := a.off[v], a.end[v]
 	for i := lo; i < hi; {
-		if visited[a.halves[i].ID] {
+		if visited.Test(int(a.halves[i].ID)) {
 			hi--
 			a.halves[i] = a.halves[hi]
 		} else {

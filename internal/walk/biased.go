@@ -3,6 +3,7 @@ package walk
 import (
 	"math/rand"
 
+	"repro/internal/bits"
 	"repro/internal/graph"
 )
 
@@ -23,7 +24,7 @@ type Biased struct {
 	halves  []graph.Half // graph CSR adjacency, rebound at each Reset
 	off     []int32
 	bias    float64
-	visited []bool
+	visited bits.Set // by edge ID
 	pend    edgeArena
 	cur     int
 }
@@ -57,7 +58,7 @@ func (b *Biased) Bias() float64 { return b.bias }
 // Step implements Process.
 func (b *Biased) Step() (int, int) {
 	v := b.cur
-	b.pend.prune(v, b.visited)
+	b.pend.prune(v, &b.visited)
 	p := b.pend.pending(v)
 	var h graph.Half
 	if len(p) > 0 && (b.bias >= 1 || b.r.Float64() < b.bias) {
@@ -66,18 +67,18 @@ func (b *Biased) Step() (int, int) {
 		adj := b.halves[b.off[v]:b.off[v+1]]
 		h = adj[b.r.Intn(len(adj))]
 	}
-	b.visited[h.ID] = true
-	b.cur = h.To
-	return h.ID, b.cur
+	b.visited.Set(int(h.ID))
+	b.cur = int(h.To)
+	return int(h.ID), b.cur
 }
 
 // Reset implements Process. It reuses the pending arena and visited
-// bitmap (no allocation after the first Reset) and rebinds to the
+// bitset (no allocation after the first Reset) and rebinds to the
 // graph's current CSR arrays.
 func (b *Biased) Reset(start int) {
 	b.cur = start
 	b.halves = b.g.Halves()
 	b.off = b.g.Offsets()
-	b.visited = reuse(b.visited, b.g.M())
+	b.visited.Reset(b.g.M())
 	b.pend.reset(b.g)
 }

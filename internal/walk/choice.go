@@ -61,9 +61,9 @@ func (c *Choice) Step() (int, int) {
 			}
 		}
 	}
-	c.cur = best.To
+	c.cur = int(best.To)
 	c.visits[c.cur]++
-	return best.ID, c.cur
+	return int(best.ID), c.cur
 }
 
 // Reset implements Process. It reuses the visit counters (no

@@ -30,17 +30,24 @@
 // # Memory discipline
 //
 // The step loop is the hot path of every experiment, so the engine is
-// allocation-free after construction. Processes run on their graph's
-// frozen CSR layout (constructors call Freeze and cache the flat
-// Halves/Offsets arrays); the E-process keeps its per-vertex pending
-// (unvisited) half-edges in a single flat arena mirroring the CSR block
-// (see edgeArena for the invariants), and Reset refills that arena with
-// one copy and clears bitmaps in place — no per-vertex allocation, and
-// zero allocation from the second Reset on. Callers that measure many
-// trials reuse the cover drivers' seen-bitmaps through CoverScratch;
-// the package-level VertexCoverSteps/EdgeCoverSteps/Cover remain as
-// one-shot conveniences. internal/walk/alloc_test.go pins all of this
-// with testing.AllocsPerRun.
+// allocation-free after construction and its state is packed for cache
+// density: halves are 8-byte (uint32-field) records, and every visited
+// or seen set is a word-packed internal/bits.Set — one bit per edge or
+// vertex — so whole-set scans (UnvisitedEdgeIDs) run a word at a time.
+// Processes run on their graph's frozen CSR layout (constructors call
+// Freeze and cache the flat Halves/Offsets arrays); the E-process keeps
+// its per-vertex pending (unvisited) half-edges in a single flat arena
+// mirroring the CSR block (see edgeArena for the invariants), and Reset
+// refills that arena with one copy and clears bitsets in place — no
+// per-vertex allocation, and zero allocation from the second Reset on.
+// With the Uniform rule, EProcess.Step takes a fused fast path that
+// prunes the pending block and draws the crossed edge in one pass,
+// skipping the Rule interface dispatch; it is draw-for-draw identical
+// to the generic path. Callers that measure many trials reuse the
+// cover drivers' seen-bitsets through CoverScratch; the package-level
+// VertexCoverSteps/EdgeCoverSteps/Cover remain as one-shot
+// conveniences. internal/walk/alloc_test.go pins all of this with
+// testing.AllocsPerRun.
 //
 // # Randomness
 //

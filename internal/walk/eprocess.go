@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/bits"
 	"repro/internal/graph"
 )
 
@@ -52,15 +53,21 @@ func (s Stats) Total() int64 { return s.RedSteps + s.BlueSteps }
 // The process runs on the graph's frozen CSR layout and allocates
 // nothing after construction: pending unvisited halves live in a single
 // flat arena (see edgeArena) that Reset refills with one copy from the
-// graph's CSR block, and the visited bitmap is cleared in place.
+// graph's CSR block, and the visited bitset is cleared in place.
 type EProcess struct {
 	g    *graph.Graph
 	ri   Intner
 	r    *rand.Rand // interop view of ri for Rand(); may be nil
 	rule Rule
 
+	// fastUniform routes Step through the fused prune+choose blue path
+	// when the rule is the stateless Uniform rule (the common case of
+	// every sweep); adversarial/deterministic rules keep the generic
+	// Rule-dispatch path.
+	fastUniform bool
+
 	cur     int
-	visited []bool // by edge ID
+	visited bits.Set // by edge ID
 
 	// pend holds the candidate unvisited half-edges of every vertex in
 	// one flat block. Entries whose edge has since been visited (from
@@ -95,6 +102,7 @@ func NewEProcess(g *graph.Graph, r Intner, rule Rule, start int) *EProcess {
 		rule = Uniform{}
 	}
 	e := &EProcess{g: g, ri: r, r: interopRand(r), rule: rule}
+	_, e.fastUniform = rule.(Uniform)
 	e.init(start)
 	return e
 }
@@ -105,7 +113,7 @@ func (e *EProcess) init(start int) {
 	// last run thawed and re-froze the graph into new storage.
 	e.halves = e.g.Halves()
 	e.off = e.g.Offsets()
-	e.visited = reuse(e.visited, e.g.M())
+	e.visited.Reset(e.g.M())
 	e.pend.reset(e.g)
 	e.stats = Stats{}
 	e.phase = 0
@@ -133,25 +141,23 @@ func (e *EProcess) Rand() *rand.Rand { return e.r }
 func (e *EProcess) Intn(n int) int { return e.ri.Intn(n) }
 
 // EdgeVisited reports whether edge id has been traversed.
-func (e *EProcess) EdgeVisited(id int) bool { return e.visited[id] }
+func (e *EProcess) EdgeVisited(id int) bool { return e.visited.Test(id) }
 
 // BlueDegree returns the number of unvisited edge-endpoints at v (loops
 // count twice), i.e. the blue degree of Observation 10.
 func (e *EProcess) BlueDegree(v int) int {
-	e.pend.prune(v, e.visited)
+	e.pend.prune(v, &e.visited)
 	return len(e.pend.pending(v))
 }
 
 // UnvisitedEdgeIDs returns the IDs of all currently unvisited edges, in
-// increasing order. Used by the blue-component analysis.
+// increasing order. Used by the blue-component analysis. Every blue
+// step visits exactly one edge, so the result has exactly
+// m − BlueSteps entries; the slice is sized up front and filled by the
+// bitset's word-at-a-time scan.
 func (e *EProcess) UnvisitedEdgeIDs() []int {
-	var out []int
-	for id, vis := range e.visited {
-		if !vis {
-			out = append(out, id)
-		}
-	}
-	return out
+	out := make([]int, 0, int64(e.g.M())-e.stats.BlueSteps)
+	return e.visited.AppendUnset(out)
 }
 
 // Stats returns the phase statistics accumulated so far.
@@ -181,12 +187,35 @@ func (e *EProcess) Phase() Phase { return e.phase }
 // Step implements Process.
 func (e *EProcess) Step() (int, int) {
 	v := e.cur
-	// Once a vertex's pending block is empty it stays empty, so the
-	// steady state of a long run (all edges found, walk finishing the
-	// vertex cover red) skips the prune scan with one comparison.
-	if e.pend.end[v] > e.pend.off[v] {
-		e.pend.prune(v, e.visited)
+	if e.fastUniform {
+		// Fused blue-step fast path for the Uniform rule: prune v's
+		// pending block and pick the crossed edge in the same breath —
+		// no Rule dispatch, no validation of a foreign rule's choice,
+		// and the emptiness decision is the one branch on the
+		// post-prune length (prune on an already-empty block is a
+		// zero-iteration loop). Draw-for-draw this is the generic path
+		// exactly (prune consumes no randomness; the choice is the
+		// same Intn the Uniform rule made), so math/rand trajectories
+		// are byte-identical.
+		a := &e.pend
+		a.prune(v, &e.visited)
+		lo, hi := a.off[v], a.end[v]
+		if n := int(hi - lo); n > 0 {
+			i := lo + int32(e.ri.Intn(n))
+			h := a.halves[i]
+			e.visited.Set(int(h.ID))
+			// Swap-remove the chosen half; its twin at the far endpoint
+			// is pruned lazily when that vertex is next queried.
+			a.halves[i] = a.halves[hi-1]
+			a.end[v] = hi - 1
+			return e.blueStep(h)
+		}
+		return e.redStep(v)
 	}
+	// Generic path: arbitrary (possibly adversarial) rules. Prune on an
+	// empty block is a zero-iteration loop, so no separate emptiness
+	// guard is needed here either.
+	e.pend.prune(v, &e.visited)
 	if p := e.pend.pending(v); len(p) > 0 {
 		// Blue step: the rule chooses which unvisited edge to cross.
 		// The paper allows arbitrary (even adversarial) rules, so the
@@ -199,25 +228,33 @@ func (e *EProcess) Step() (int, int) {
 				e.rule.Name(), idx, len(p), v))
 		}
 		h := p[idx]
-		e.visited[h.ID] = true
-		// Swap-remove the chosen half; its twin at the far endpoint is
-		// pruned lazily when that vertex is next queried.
+		e.visited.Set(int(h.ID))
 		e.pend.remove(v, idx)
-		e.cur = h.To
-		e.stats.BlueSteps++
-		if e.phase != PhaseBlue {
-			e.stats.BluePhases++
-			e.phase = PhaseBlue
-		}
-		if e.recordPhases {
-			e.curPhaseLen++
-		}
-		return h.ID, e.cur
+		return e.blueStep(h)
 	}
-	// Red step: simple random walk over the full adjacency.
+	return e.redStep(v)
+}
+
+// blueStep finishes a blue transition along h: move, count, and keep
+// the phase bookkeeping.
+func (e *EProcess) blueStep(h graph.Half) (int, int) {
+	e.cur = int(h.To)
+	e.stats.BlueSteps++
+	if e.phase != PhaseBlue {
+		e.stats.BluePhases++
+		e.phase = PhaseBlue
+	}
+	if e.recordPhases {
+		e.curPhaseLen++
+	}
+	return int(h.ID), e.cur
+}
+
+// redStep takes a simple-random-walk step over the full adjacency of v.
+func (e *EProcess) redStep(v int) (int, int) {
 	adj := e.halves[e.off[v]:e.off[v+1]]
 	h := adj[e.ri.Intn(len(adj))]
-	e.cur = h.To
+	e.cur = int(h.To)
 	e.stats.RedSteps++
 	if e.phase != PhaseRed {
 		e.stats.RedPhases++
@@ -227,7 +264,7 @@ func (e *EProcess) Step() (int, int) {
 			e.curPhaseLen = 0
 		}
 	}
-	return h.ID, e.cur
+	return int(h.ID), e.cur
 }
 
 // Reset implements Process. It reuses all internal storage; after the

@@ -54,8 +54,8 @@ func (l *LeastUsedFirst) Step() (int, int) {
 		}
 	}
 	l.used[best.ID]++
-	l.cur = best.To
-	return best.ID, l.cur
+	l.cur = int(best.To)
+	return int(best.ID), l.cur
 }
 
 // Reset implements Process.
@@ -115,8 +115,8 @@ func (o *OldestFirst) Step() (int, int) {
 	}
 	o.step++
 	o.last[best.ID] = o.step
-	o.cur = best.To
-	return best.ID, o.cur
+	o.cur = int(best.To)
+	return int(best.ID), o.cur
 }
 
 // Reset implements Process.

@@ -126,6 +126,35 @@ func TestGoldenSurvivesReset(t *testing.T) {
 	checkTrajectory(t, "after reset", e2, goldenEProcess)
 }
 
+// uniformViaInterface delegates to Uniform but is a distinct type, so
+// NewEProcess cannot detect it and routes through the generic Rule
+// path.
+type uniformViaInterface struct{ Uniform }
+
+func (uniformViaInterface) Name() string { return "uniform-generic" }
+
+// TestFusedPathMatchesGenericPath proves the fused Uniform blue step is
+// draw-for-draw identical to the generic Rule-dispatch path: the same
+// seed must produce the same trajectory whether or not the fast path is
+// taken.
+func TestFusedPathMatchesGenericPath(t *testing.T) {
+	g := goldenGraph(t)
+	run := func(rule Rule) []step {
+		e := NewEProcess(g, rand.New(rand.NewSource(42)), rule, 0)
+		out := make([]step, 400)
+		for i := range out {
+			out[i].e, out[i].v = e.Step()
+		}
+		return out
+	}
+	fused, generic := run(Uniform{}), run(uniformViaInterface{})
+	for i := range fused {
+		if fused[i] != generic[i] {
+			t.Fatalf("fused and generic paths diverge at step %d: %v vs %v", i, fused[i], generic[i])
+		}
+	}
+}
+
 // TestFastPathSelfConsistent pins the fast-RNG trajectory contract:
 // same seed ⇒ same trajectory, different seed ⇒ different trajectory
 // (overwhelmingly), mirroring internal/gen/determinism_test.go for the

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/bits"
 	"repro/internal/graph"
 )
 
@@ -26,28 +27,28 @@ type Process interface {
 	Reset(start int)
 }
 
-// CoverScratch holds the seen-vertex/seen-edge bitmaps the cover
+// CoverScratch holds the seen-vertex/seen-edge bitsets the cover
 // drivers need, so a caller running many trials (e.g. a sim worker)
 // reuses one allocation instead of paying O(n+m) garbage per trial.
 // The zero value is ready to use; it grows on demand and is not safe
 // for concurrent use.
 type CoverScratch struct {
-	seenV []bool
-	seenE []bool
+	seenV bits.Set
+	seenE bits.Set
 }
 
-// vertexSeen returns a cleared n-element bitmap, reusing prior storage
+// vertexSeen returns a cleared n-element bitset, reusing prior storage
 // when it is large enough.
-func (sc *CoverScratch) vertexSeen(n int) []bool {
-	sc.seenV = reuse(sc.seenV, n)
-	return sc.seenV
+func (sc *CoverScratch) vertexSeen(n int) *bits.Set {
+	sc.seenV.Reset(n)
+	return &sc.seenV
 }
 
-// edgeSeen returns a cleared m-element bitmap, reusing prior storage
+// edgeSeen returns a cleared m-element bitset, reusing prior storage
 // when it is large enough.
-func (sc *CoverScratch) edgeSeen(m int) []bool {
-	sc.seenE = reuse(sc.seenE, m)
-	return sc.seenE
+func (sc *CoverScratch) edgeSeen(m int) *bits.Set {
+	sc.seenE.Reset(m)
+	return &sc.seenE
 }
 
 // VertexCoverSteps runs p until every vertex of its graph has been
@@ -69,7 +70,7 @@ func (sc *CoverScratch) VertexCoverSteps(p Process, maxSteps int64) (int64, erro
 		maxSteps = defaultBudget(n)
 	}
 	seen := sc.vertexSeen(n)
-	seen[p.Current()] = true
+	seen.Set(p.Current())
 	remaining := n - 1
 	var steps int64
 	for remaining > 0 {
@@ -78,8 +79,8 @@ func (sc *CoverScratch) VertexCoverSteps(p Process, maxSteps int64) (int64, erro
 		}
 		_, v := p.Step()
 		steps++
-		if !seen[v] {
-			seen[v] = true
+		if !seen.Test(v) {
+			seen.Set(v)
 			remaining--
 		}
 	}
@@ -110,8 +111,8 @@ func (sc *CoverScratch) EdgeCoverSteps(p Process, maxSteps int64) (int64, error)
 		}
 		e, _ := p.Step()
 		steps++
-		if e >= 0 && !seen[e] { // e < 0 marks a lazy stay: no edge crossed
-			seen[e] = true
+		if e >= 0 && !seen.Test(e) { // e < 0 marks a lazy stay: no edge crossed
+			seen.Set(e)
 			remaining--
 		}
 	}
@@ -140,7 +141,7 @@ func (sc *CoverScratch) Cover(p Process, maxSteps int64) (CoverTimes, error) {
 		maxSteps = defaultBudget(n + m)
 	}
 	seenV := sc.vertexSeen(n)
-	seenV[p.Current()] = true
+	seenV.Set(p.Current())
 	seenE := sc.edgeSeen(m)
 	leftV, leftE := n-1, m
 	var ct CoverTimes
@@ -151,15 +152,15 @@ func (sc *CoverScratch) Cover(p Process, maxSteps int64) (CoverTimes, error) {
 		}
 		e, v := p.Step()
 		steps++
-		if leftV > 0 && !seenV[v] {
-			seenV[v] = true
+		if leftV > 0 && !seenV.Test(v) {
+			seenV.Set(v)
 			leftV--
 			if leftV == 0 {
 				ct.Vertex = steps
 			}
 		}
-		if leftE > 0 && e >= 0 && !seenE[e] { // e < 0 marks a lazy stay
-			seenE[e] = true
+		if leftE > 0 && e >= 0 && !seenE.Test(e) { // e < 0 marks a lazy stay
+			seenE.Set(e)
 			leftE--
 			if leftE == 0 {
 				ct.Edge = steps

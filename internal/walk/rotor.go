@@ -60,8 +60,8 @@ func (ro *Rotor) Step() (int, int) {
 	if ro.rotor[v] >= hi-lo {
 		ro.rotor[v] = 0
 	}
-	ro.cur = h.To
-	return h.ID, ro.cur
+	ro.cur = int(h.To)
+	return int(h.ID), ro.cur
 }
 
 // Reset implements Process. It reuses the rotor array (no allocation

@@ -127,7 +127,7 @@ func (TowardVisited) Name() string { return "adversary-toward-visited" }
 func (TowardVisited) Choose(p *EProcess, v int, unvisited []graph.Half) int {
 	best, bestBlue := 0, -1
 	for i, h := range unvisited {
-		blue := p.BlueDegree(h.To)
+		blue := p.BlueDegree(int(h.To))
 		if bestBlue == -1 || blue < bestBlue {
 			best, bestBlue = i, blue
 		}
@@ -176,7 +176,7 @@ func (TowardUnvisited) Name() string { return "toward-unvisited" }
 func (TowardUnvisited) Choose(p *EProcess, v int, unvisited []graph.Half) int {
 	best, bestBlue := 0, -1
 	for i, h := range unvisited {
-		blue := p.BlueDegree(h.To)
+		blue := p.BlueDegree(int(h.To))
 		if blue > bestBlue {
 			best, bestBlue = i, blue
 		}

@@ -56,8 +56,8 @@ func (s *Simple) Step() (int, int) {
 	}
 	adj := s.halves[s.off[s.cur]:s.off[s.cur+1]]
 	h := adj[s.ri.Intn(len(adj))]
-	s.cur = h.To
-	return h.ID, s.cur
+	s.cur = int(h.To)
+	return int(h.ID), s.cur
 }
 
 // Reset implements Process. It rebinds to the graph's current CSR
@@ -94,7 +94,7 @@ func NewWeighted(g *graph.Graph, r *rand.Rand, weights []float64, start int) (*W
 	for v := 0; v < g.N(); v++ {
 		for _, h := range g.Adj(v) {
 			if weights[h.ID] <= 0 {
-				return nil, errWeightValue(h.ID, weights[h.ID])
+				return nil, errWeightValue(int(h.ID), weights[h.ID])
 			}
 			w.total[v] += weights[h.ID]
 		}
@@ -121,8 +121,8 @@ func (w *Weighted) Step() (int, int) {
 			break
 		}
 	}
-	w.cur = chosen.To
-	return chosen.ID, w.cur
+	w.cur = int(chosen.To)
+	return int(chosen.ID), w.cur
 }
 
 // Reset implements Process.

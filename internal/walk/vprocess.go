@@ -1,6 +1,7 @@
 package walk
 
 import (
+	"repro/internal/bits"
 	"repro/internal/graph"
 )
 
@@ -22,7 +23,7 @@ type VProcess struct {
 	ri      Intner
 	halves  []graph.Half // graph CSR adjacency, rebound at each Reset
 	off     []int32
-	visited []bool // per-vertex
+	visited bits.Set // per-vertex
 	cur     int
 	// scratch buffer for the unvisited-neighbour sample, reused across
 	// steps to avoid per-step allocation.
@@ -46,14 +47,14 @@ func (v *VProcess) Graph() *graph.Graph { return v.g }
 func (v *VProcess) Current() int { return v.cur }
 
 // VertexVisited reports whether u has been occupied.
-func (v *VProcess) VertexVisited(u int) bool { return v.visited[u] }
+func (v *VProcess) VertexVisited(u int) bool { return v.visited.Test(u) }
 
 // Step implements Process.
 func (v *VProcess) Step() (int, int) {
 	adj := v.halves[v.off[v.cur]:v.off[v.cur+1]]
 	v.buf = v.buf[:0]
 	for _, h := range adj {
-		if !v.visited[h.To] {
+		if !v.visited.Test(int(h.To)) {
 			v.buf = append(v.buf, h)
 		}
 	}
@@ -63,18 +64,18 @@ func (v *VProcess) Step() (int, int) {
 	} else {
 		chosen = adj[v.ri.Intn(len(adj))]
 	}
-	v.cur = chosen.To
-	v.visited[v.cur] = true
-	return chosen.ID, v.cur
+	v.cur = int(chosen.To)
+	v.visited.Set(v.cur)
+	return int(chosen.ID), v.cur
 }
 
-// Reset implements Process. It reuses the visited bitmap (no
+// Reset implements Process. It reuses the visited bitset (no
 // allocation after the first Reset) and rebinds to the graph's current
 // CSR arrays.
 func (v *VProcess) Reset(start int) {
 	v.cur = start
 	v.halves = v.g.Halves()
 	v.off = v.g.Offsets()
-	v.visited = reuse(v.visited, v.g.N())
-	v.visited[start] = true
+	v.visited.Reset(v.g.N())
+	v.visited.Set(start)
 }
