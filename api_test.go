@@ -304,3 +304,39 @@ func TestPublicAPIExperimentRegistry(t *testing.T) {
 		t.Errorf("cancelled RunExperiment = %v, want context.Canceled", err)
 	}
 }
+
+// The durable-run layer is part of the facade: an experiment runs with
+// a checkpoint journal, RunShard splits its unit space, and MergeShards
+// stitches the shard journals into a result identical to a plain run.
+func TestPublicAPIDurableRuns(t *testing.T) {
+	e, ok := repro.LookupExperiment("eq3")
+	if !ok {
+		t.Fatal("eq3 not visible through the facade")
+	}
+	cfg := repro.ExpConfig{Seed: 4, Trials: 1}
+	clean, err := e.Run(context.Background(), cfg, repro.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := []string{t.TempDir(), t.TempDir()}
+	for i, dir := range dirs {
+		if err := e.RunShard(context.Background(), cfg, repro.Shard{Index: i, Count: 2},
+			repro.RunOptions{Checkpoint: &repro.Checkpoint{Dir: dir}}); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+	}
+	merged, err := repro.MergeShards(context.Background(), e, cfg, dirs, repro.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := clean.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("merged shard result differs from a plain run through the facade")
+	}
+}

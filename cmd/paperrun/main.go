@@ -11,7 +11,16 @@
 //	paperrun -v                             # per-experiment progress on stderr
 //
 // An interrupt (Ctrl-C) cancels the run promptly; no partial report is
-// written.
+// written. For long runs, -checkpoint DIR journals every completed
+// (point, trial) unit under DIR/<exp>/ as it finishes, so an
+// interrupted regeneration can be resumed with -resume: completed
+// units are restored from the journals (validated against the current
+// configuration — mismatched or corrupted journals are rejected) and
+// only the missing work re-runs, producing a report byte-identical to
+// an uninterrupted one. Checkpoints are workers-independent.
+//
+//	paperrun -scale 16 -checkpoint ckpt           # ... killed at unit 1713
+//	paperrun -scale 16 -checkpoint ckpt -resume   # finishes the remainder
 package main
 
 import (
@@ -42,10 +51,15 @@ func run() error {
 		trials  = flag.Int("trials", 5, "trials per point")
 		seed    = flag.Uint64("seed", 2012, "master seed")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		ckDir   = flag.String("checkpoint", "", "journal completed (point, trial) units under DIR/<exp>/ so an interrupted run can be resumed")
+		resume  = flag.Bool("resume", false, "with -checkpoint: restore completed units from the existing journals and run only the rest")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		verbose = flag.Bool("v", false, "report sweep progress (units done/total) on stderr")
 	)
 	flag.Parse()
+	if *resume && *ckDir == "" {
+		return fmt.Errorf("-resume needs -checkpoint to name the journal directory")
+	}
 
 	if *list {
 		for _, e := range sim.Registry() {
@@ -68,6 +82,9 @@ func run() error {
 		opts := sim.RunOptions{}
 		if *verbose {
 			opts = sim.StderrProgress(e.Name)
+		}
+		if *ckDir != "" {
+			opts.Checkpoint = &sim.Checkpoint{Dir: filepath.Join(*ckDir, e.Name), Resume: *resume}
 		}
 		res, err := e.Run(ctx, cfg, opts)
 		if err != nil {

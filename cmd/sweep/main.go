@@ -22,8 +22,29 @@
 //	sweep -exp all -scale 16 -shard 0/4   # machine 0 of 4
 //	sweep -exp all -scale 16 -shard 1/4   # machine 1 of 4 ...
 //
+// When a single experiment outgrows one machine, -shard i/m@points
+// splits below the experiment level: each process runs a contiguous
+// block of every selected experiment's (point, trial) unit space and
+// journals it under -checkpoint (required; no tables are printed), and
+// -merge stitches the finished shard journals into the canonical
+// tables and JSON — byte-identical to an unsharded run:
+//
+//	sweep -exp scalecover -scale 64 -shard 0/2@points -checkpoint a   # machine A
+//	sweep -exp scalecover -scale 64 -shard 1/2@points -checkpoint b   # machine B
+//	sweep -exp scalecover -scale 64 -merge a,b -json out/             # anywhere
+//
 // An interrupt (Ctrl-C) cancels the run promptly: in-flight units
 // finish, queued work is dropped, and the process exits with an error.
+// With -checkpoint DIR every completed unit is journaled under
+// DIR/<exp>/ as it finishes (atomic write-temp+rename, fsync'd
+// manifest), so an interrupted run loses at most its in-flight units;
+// re-running the same command with -resume validates the journals
+// against the current plan (mismatched or corrupted journals are
+// rejected, never silently resumed) and re-runs only the missing
+// units. Checkpoints are workers-independent, like the tables:
+//
+//	sweep -exp all -scale 16 -checkpoint ckpt          # ... killed
+//	sweep -exp all -scale 16 -checkpoint ckpt -resume  # picks up where it died
 package main
 
 import (
@@ -46,24 +67,40 @@ func main() {
 	}
 }
 
-// parseShard parses "i/m" with 0 ≤ i < m, rejecting trailing garbage
-// (a silently misparsed shard spec would leave part of a multi-machine
-// sweep unrun).
-func parseShard(s string) (idx, count int, err error) {
-	is, ms, ok := strings.Cut(s, "/")
+// shardSpec is a parsed -shard flag: the shard coordinates plus the
+// partition level — contiguous experiment blocks ("i/m", the default)
+// or the point-level (point, trial) unit space ("i/m@points").
+type shardSpec struct {
+	sim.Shard
+	points bool
+}
+
+// parseShard parses "i/m" or "i/m@points" with 0 ≤ i < m, rejecting
+// trailing garbage (a silently misparsed shard spec would leave part of
+// a multi-machine sweep unrun).
+func parseShard(s string) (spec shardSpec, err error) {
+	body := s
+	if base, suffix, ok := strings.Cut(s, "@"); ok {
+		if suffix != "points" {
+			return spec, fmt.Errorf("bad -shard %q (want 'i/m' or 'i/m@points')", s)
+		}
+		spec.points = true
+		body = base
+	}
+	is, ms, ok := strings.Cut(body, "/")
 	if !ok {
-		return 0, 0, fmt.Errorf("bad -shard %q (want 'i/m')", s)
+		return spec, fmt.Errorf("bad -shard %q (want 'i/m' or 'i/m@points')", s)
 	}
-	if idx, err = strconv.Atoi(is); err != nil {
-		return 0, 0, fmt.Errorf("bad -shard %q: %w", s, err)
+	if spec.Index, err = strconv.Atoi(is); err != nil {
+		return spec, fmt.Errorf("bad -shard %q: %w", s, err)
 	}
-	if count, err = strconv.Atoi(ms); err != nil {
-		return 0, 0, fmt.Errorf("bad -shard %q: %w", s, err)
+	if spec.Count, err = strconv.Atoi(ms); err != nil {
+		return spec, fmt.Errorf("bad -shard %q: %w", s, err)
 	}
-	if count < 1 || idx < 0 || idx >= count {
-		return 0, 0, fmt.Errorf("bad -shard %q: need 0 <= i < m", s)
+	if spec.Count < 1 || spec.Index < 0 || spec.Index >= spec.Count {
+		return spec, fmt.Errorf("bad -shard %q: need 0 <= i < m", s)
 	}
-	return idx, count, nil
+	return spec, nil
 }
 
 // shardSelect returns the idx-th of count contiguous blocks of exps.
@@ -104,6 +141,23 @@ func progressOpts(name string, verbose bool) sim.RunOptions {
 	return sim.StderrProgress(name)
 }
 
+// printResult writes one experiment's table, notes and optional JSON
+// dump — the shared output path of plain, resumed and merged runs.
+func printResult(res *sim.Result, jsonDir string) error {
+	if err := res.Table.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	for _, note := range res.Notes {
+		fmt.Println(note)
+	}
+	if jsonDir != "" {
+		if err := res.WriteFile(filepath.Join(jsonDir, res.Name+".json")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func run() error {
 	var (
 		expList = flag.String("exp", "all", "comma-separated experiment names, or 'all'")
@@ -111,7 +165,10 @@ func run() error {
 		trials  = flag.Int("trials", 5, "trials per point")
 		seed    = flag.Uint64("seed", 2012, "master seed")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		shard   = flag.String("shard", "", "run shard i of m selected experiments, as 'i/m' (for multi-process sweeps)")
+		shard   = flag.String("shard", "", "run shard i of m, as 'i/m' (contiguous blocks of the selected experiments) or 'i/m@points' (point-level units within every experiment; requires -checkpoint)")
+		ckDir   = flag.String("checkpoint", "", "journal completed (point, trial) units under DIR/<exp>/ so an interrupted run can be resumed")
+		resume  = flag.Bool("resume", false, "with -checkpoint: restore completed units from the existing journals and run only the rest")
+		merge   = flag.String("merge", "", "comma-separated -checkpoint dirs of point-level shards; stitch their journals into the canonical tables without re-running walks")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		jsonDir = flag.String("json", "", "also write one JSON Result per experiment into this directory")
 		verbose = flag.Bool("v", false, "report sweep progress (units done/total) on stderr")
@@ -129,12 +186,20 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	var spec shardSpec
 	if *shard != "" {
-		idx, count, err := parseShard(*shard)
-		if err != nil {
+		if spec, err = parseShard(*shard); err != nil {
 			return err
 		}
-		selected = shardSelect(selected, idx, count)
+	}
+	if *resume && *ckDir == "" {
+		return fmt.Errorf("-resume needs -checkpoint to name the journal directory")
+	}
+	if *merge != "" && (*shard != "" || *ckDir != "") {
+		return fmt.Errorf("-merge reads finished shard journals; it cannot be combined with -shard or -checkpoint")
+	}
+	if spec.points && *jsonDir != "" {
+		return fmt.Errorf("-shard i/m@points journals units only and writes no Results; use `-merge ... -json %s` after all shards finish", *jsonDir)
 	}
 	if *jsonDir != "" {
 		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
@@ -146,24 +211,71 @@ func run() error {
 	defer stop()
 
 	cfg := sim.ExpConfig{Seed: *seed, Trials: *trials, Scale: *scale, Workers: *workers}
+
+	// Merge mode: stitch the per-experiment journals of finished
+	// point-level shards into the canonical output.
+	if *merge != "" {
+		var parents []string
+		for _, d := range strings.Split(*merge, ",") {
+			if d = strings.TrimSpace(d); d != "" {
+				parents = append(parents, d)
+			}
+		}
+		for i, e := range selected {
+			if i > 0 {
+				fmt.Println()
+			}
+			dirs := make([]string, len(parents))
+			for j, p := range parents {
+				dirs[j] = filepath.Join(p, e.Name)
+			}
+			res, err := sim.MergeShards(ctx, e, cfg, dirs, progressOpts(e.Name, *verbose))
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.Name, err)
+			}
+			if err := printResult(res, *jsonDir); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Point-level sharding: run each selected experiment's shard of the
+	// (point, trial) unit space and journal it; no tables are printed —
+	// a strict subset of the units cannot be aggregated. Merge the
+	// shards' -checkpoint dirs afterwards with -merge.
+	if spec.points {
+		if *ckDir == "" {
+			return fmt.Errorf("-shard i/m@points needs -checkpoint: the journal is the shard's only output")
+		}
+		for _, e := range selected {
+			opts := progressOpts(e.Name, *verbose)
+			opts.Checkpoint = &sim.Checkpoint{Dir: filepath.Join(*ckDir, e.Name), Resume: *resume}
+			if err := e.RunShard(ctx, cfg, spec.Shard, opts); err != nil {
+				return fmt.Errorf("%s: %w", e.Name, err)
+			}
+			fmt.Printf("%s: journaled point shard %d/%d into %s\n", e.Name, spec.Index, spec.Count, opts.Checkpoint.Dir)
+		}
+		return nil
+	}
+
+	if *shard != "" {
+		selected = shardSelect(selected, spec.Index, spec.Count)
+	}
 	for i, e := range selected {
 		if i > 0 {
 			fmt.Println()
 		}
-		res, err := e.Run(ctx, cfg, progressOpts(e.Name, *verbose))
+		opts := progressOpts(e.Name, *verbose)
+		if *ckDir != "" {
+			opts.Checkpoint = &sim.Checkpoint{Dir: filepath.Join(*ckDir, e.Name), Resume: *resume}
+		}
+		res, err := e.Run(ctx, cfg, opts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.Name, err)
 		}
-		if err := res.Table.WriteText(os.Stdout); err != nil {
+		if err := printResult(res, *jsonDir); err != nil {
 			return err
-		}
-		for _, note := range res.Notes {
-			fmt.Println(note)
-		}
-		if *jsonDir != "" {
-			if err := res.WriteFile(filepath.Join(*jsonDir, e.Name+".json")); err != nil {
-				return err
-			}
 		}
 	}
 	return nil

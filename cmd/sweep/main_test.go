@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -57,15 +58,48 @@ func TestEveryExperimentRunsTiny(t *testing.T) {
 }
 
 func TestParseShard(t *testing.T) {
-	idx, count, err := parseShard("1/4")
-	if err != nil || idx != 1 || count != 4 {
-		t.Fatalf("parseShard(1/4) = %d, %d, %v", idx, count, err)
+	spec, err := parseShard("1/4")
+	if err != nil || spec.Index != 1 || spec.Count != 4 || spec.points {
+		t.Fatalf("parseShard(1/4) = %+v, %v", spec, err)
 	}
-	for _, bad := range []string{"", "x", "4/4", "-1/4", "1/0", "2/1", "1/4x", "1/4/2", " 1/4", "1/ 4"} {
-		if _, _, err := parseShard(bad); err == nil {
+	spec, err = parseShard("3/8@points")
+	if err != nil || spec.Index != 3 || spec.Count != 8 || !spec.points {
+		t.Fatalf("parseShard(3/8@points) = %+v, %v", spec, err)
+	}
+	for _, bad := range []string{"", "x", "4/4", "-1/4", "1/0", "2/1", "1/4x", "1/4/2", " 1/4", "1/ 4",
+		"1/4@", "1/4@point", "1/4@units", "1/4 @points", "1/4@points ", "4/4@points", "@points", "1/4@points@points"} {
+		if _, err := parseShard(bad); err == nil {
 			t.Errorf("parseShard(%q) accepted", bad)
 		}
 	}
+}
+
+// FuzzParseShard: accepted specs must always be in-range and must
+// round-trip through their canonical rendering — a misparsed shard
+// spec would silently leave part of a multi-machine sweep unrun. The
+// checked-in seed corpus (testdata/fuzz) runs on every plain `go test`.
+func FuzzParseShard(f *testing.F) {
+	for _, s := range []string{"0/1", "1/4", "3/8@points", "0/2@points", "", "x", "4/4", "-1/4",
+		"1/0", "1/4x", "1/4@", "1/4@point", " 1/4", "1/4/2", "1/4@points@points", "01/4", "+1/4"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := parseShard(s)
+		if err != nil {
+			return
+		}
+		if spec.Index < 0 || spec.Index >= spec.Count {
+			t.Fatalf("parseShard(%q) accepted out-of-range spec %+v", s, spec)
+		}
+		canon := fmt.Sprintf("%d/%d", spec.Index, spec.Count)
+		if spec.points {
+			canon += "@points"
+		}
+		back, err := parseShard(canon)
+		if err != nil || back != spec {
+			t.Fatalf("parseShard(%q) = %+v does not round-trip through %q (%+v, %v)", s, spec, canon, back, err)
+		}
+	})
 }
 
 // shardSelect must partition the selected experiments into in-order

@@ -1,0 +1,464 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// resultBytes renders a Result to its two canonical byte forms: the
+// stable JSON encoding and the rendered table (with notes). Durable-run
+// equivalence is asserted on both.
+func resultBytes(t *testing.T, res *Result) (string, string) {
+	t.Helper()
+	var j bytes.Buffer
+	if err := res.WriteJSON(&j); err != nil {
+		t.Fatal(err)
+	}
+	var tb bytes.Buffer
+	if err := res.Table.WriteText(&tb); err != nil {
+		t.Fatal(err)
+	}
+	for _, note := range res.Notes {
+		fmt.Fprintln(&tb, note)
+	}
+	return j.String(), tb.String()
+}
+
+// durableExperiments is the set the equivalence suite sweeps: the whole
+// registry, trimmed to a representative subset in -short mode (the
+// subset keeps the Extra-channel experiments, a zero-arm structural
+// plan and a multi-arm plan — the shapes restore has to get right).
+func durableExperiments(t *testing.T) []Experiment {
+	if !testing.Short() {
+		return Registry()
+	}
+	var out []Experiment
+	for _, name := range []string{"thm1", "eq3", "p1p2", "lemma13", "phases"} {
+		e, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// The tentpole's contract test, in the table/worker-invariance family:
+// for every registry experiment, (a) a run interrupted at a randomized
+// mid-point and resumed from its checkpoint and (b) a 2-way
+// point-sharded run merged from its shard journals must both produce
+// Result JSON and tables byte-identical to a plain uninterrupted run.
+func TestDurableRunEquivalenceAllExperiments(t *testing.T) {
+	cfg := ExpConfig{Seed: 2012, Trials: 2}
+	for i, e := range durableExperiments(t) {
+		e, i := e, i
+		t.Run(e.Name, func(t *testing.T) {
+			clean, err := e.Run(context.Background(), cfg, RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cleanJSON, cleanTable := resultBytes(t, clean)
+
+			// (a) Interrupt at a randomized mid-point, then resume.
+			plan, _, err := e.Plan(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			units := plan.UnitCount()
+			rnd := rand.New(rand.NewSource(int64(1009*i + 7)))
+			k := 1 + rnd.Intn(units)
+			dir := t.TempDir()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			_, err = e.Run(ctx, cfg, RunOptions{
+				Checkpoint: &Checkpoint{Dir: dir},
+				Progress: func(done, total int) {
+					if done >= k {
+						cancel()
+					}
+				},
+			})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("interrupted run (cancel after %d/%d units) returned %v, want context.Canceled", k, units, err)
+			}
+			resumed, err := e.Run(context.Background(), cfg, RunOptions{Checkpoint: &Checkpoint{Dir: dir, Resume: true}})
+			if err != nil {
+				t.Fatalf("resume after %d/%d units: %v", k, units, err)
+			}
+			if j, tb := resultBytes(t, resumed); j != cleanJSON || tb != cleanTable {
+				t.Errorf("resumed run differs from clean run (interrupted after %d/%d units):\n--- clean ---\n%s--- resumed ---\n%s",
+					k, units, cleanTable, tb)
+			}
+
+			// (b) 2-way point-level shard, then merge.
+			sdirs := []string{t.TempDir(), t.TempDir()}
+			for s := range sdirs {
+				err := e.RunShard(context.Background(), cfg, Shard{Index: s, Count: 2},
+					RunOptions{Checkpoint: &Checkpoint{Dir: sdirs[s]}})
+				if err != nil {
+					t.Fatalf("shard %d/2: %v", s, err)
+				}
+			}
+			merged, err := MergeShards(context.Background(), e, cfg, sdirs, RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if j, tb := resultBytes(t, merged); j != cleanJSON || tb != cleanTable {
+				t.Errorf("merged shards differ from clean run:\n--- clean ---\n%s--- merged ---\n%s", cleanTable, tb)
+			}
+		})
+	}
+}
+
+// Checkpoints must be workers-independent, like the tables: a journal
+// written at Workers=1 resumes correctly at Workers=8 and vice versa.
+func TestCheckpointWorkersIndependent(t *testing.T) {
+	e, ok := Lookup("cor2")
+	if !ok {
+		t.Fatal("cor2 not registered")
+	}
+	base := ExpConfig{Seed: 2012, Trials: 3}
+	clean, err := e.Run(context.Background(), base, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanJSON, cleanTable := resultBytes(t, clean)
+	plan, _, err := e.Plan(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := plan.UnitCount() / 2
+	for _, w := range [][2]int{{1, 8}, {8, 1}} {
+		writeCfg, resumeCfg := base, base
+		writeCfg.Workers, resumeCfg.Workers = w[0], w[1]
+		dir := t.TempDir()
+		ctx, cancel := context.WithCancel(context.Background())
+		_, err := e.Run(ctx, writeCfg, RunOptions{
+			Checkpoint: &Checkpoint{Dir: dir},
+			Progress: func(done, total int) {
+				if done >= k {
+					cancel()
+				}
+			},
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d interrupted run returned %v", w[0], err)
+		}
+		resumed, err := e.Run(context.Background(), resumeCfg, RunOptions{Checkpoint: &Checkpoint{Dir: dir, Resume: true}})
+		if err != nil {
+			t.Fatalf("resume at workers=%d of a workers=%d journal: %v", w[1], w[0], err)
+		}
+		if j, tb := resultBytes(t, resumed); j != cleanJSON || tb != cleanTable {
+			t.Errorf("workers=%d journal resumed at workers=%d differs from clean run:\n--- clean ---\n%s--- resumed ---\n%s",
+				w[0], w[1], cleanTable, tb)
+		}
+	}
+}
+
+// writeCompleteJournal runs eq3 to completion with a checkpoint and
+// returns the experiment, config and journal directory — the seed
+// material of the corruption-rejection tests.
+func writeCompleteJournal(t *testing.T) (Experiment, ExpConfig, string) {
+	t.Helper()
+	e, ok := Lookup("eq3")
+	if !ok {
+		t.Fatal("eq3 not registered")
+	}
+	cfg := ExpConfig{Seed: 11, Trials: 1}
+	dir := t.TempDir()
+	if _, err := e.Run(context.Background(), cfg, RunOptions{Checkpoint: &Checkpoint{Dir: dir}}); err != nil {
+		t.Fatal(err)
+	}
+	return e, cfg, dir
+}
+
+// copyJournal clones a checkpoint directory so each corruption case
+// starts from a pristine journal.
+func copyJournal(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		data, err := os.ReadFile(filepath.Join(src, ent.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, ent.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// Truncated, corrupted or mismatched checkpoint files must be rejected
+// with a diagnostic, never silently resumed.
+func TestResumeRejectsDamagedOrMismatchedJournals(t *testing.T) {
+	e, cfg, pristine := writeCompleteJournal(t)
+
+	// The pristine journal itself resumes cleanly.
+	if _, err := e.Run(context.Background(), cfg, RunOptions{Checkpoint: &Checkpoint{Dir: pristine, Resume: true}}); err != nil {
+		t.Fatalf("pristine journal did not resume: %v", err)
+	}
+	// A fresh (non-resume) run must refuse an existing journal.
+	if _, err := e.Run(context.Background(), cfg, RunOptions{Checkpoint: &Checkpoint{Dir: pristine}}); err == nil ||
+		!strings.Contains(err.Error(), "already holds a journal") {
+		t.Fatalf("fresh run over an existing journal: %v", err)
+	}
+
+	unitFiles := func(dir string) []string {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		for _, ent := range entries {
+			if _, ok := unitFileIndex(ent.Name()); ok {
+				out = append(out, ent.Name())
+			}
+		}
+		return out
+	}
+	if n := len(unitFiles(pristine)); n == 0 {
+		t.Fatal("journal holds no unit files")
+	}
+
+	cases := []struct {
+		name    string
+		cfg     ExpConfig
+		corrupt func(dir string)
+		wantErr string
+	}{
+		{
+			name: "truncated manifest",
+			corrupt: func(dir string) {
+				path := filepath.Join(dir, manifestFile)
+				data, _ := os.ReadFile(path)
+				os.WriteFile(path, data[:len(data)/2], 0o644)
+			},
+			wantErr: "manifest",
+		},
+		{
+			name: "manifest trailing garbage",
+			corrupt: func(dir string) {
+				path := filepath.Join(dir, manifestFile)
+				data, _ := os.ReadFile(path)
+				os.WriteFile(path, append(data, "{}"...), 0o644)
+			},
+			wantErr: "trailing data",
+		},
+		{
+			name: "manifest wrong version",
+			corrupt: func(dir string) {
+				path := filepath.Join(dir, manifestFile)
+				data, _ := os.ReadFile(path)
+				os.WriteFile(path, bytes.Replace(data, []byte(`"version": 1`), []byte(`"version": 99`), 1), 0o644)
+			},
+			wantErr: "version",
+		},
+		{
+			name:    "mismatched master seed",
+			cfg:     ExpConfig{Seed: 12, Trials: 1},
+			corrupt: func(string) {},
+			wantErr: "master seed",
+		},
+		{
+			name:    "mismatched trials",
+			cfg:     ExpConfig{Seed: 11, Trials: 4},
+			corrupt: func(string) {},
+			wantErr: "trials",
+		},
+		{
+			name: "truncated unit file",
+			corrupt: func(dir string) {
+				name := unitFiles(dir)[0]
+				data, _ := os.ReadFile(filepath.Join(dir, name))
+				os.WriteFile(filepath.Join(dir, name), data[:len(data)/2], 0o644)
+			},
+			wantErr: "unit-",
+		},
+		{
+			name: "unit file renamed to another index",
+			corrupt: func(dir string) {
+				names := unitFiles(dir)
+				os.Remove(filepath.Join(dir, names[1]))
+				os.Rename(filepath.Join(dir, names[0]), filepath.Join(dir, names[1]))
+			},
+			wantErr: "records unit",
+		},
+		{
+			name: "unit file beyond the plan",
+			corrupt: func(dir string) {
+				rec := UnitRecord{Unit: 999, Point: "nope", Trial: 0}
+				data, _ := json.Marshal(rec)
+				os.WriteFile(filepath.Join(dir, unitFile(999)), data, 0o644)
+			},
+			wantErr: "outside the plan",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := copyJournal(t, pristine)
+			tc.corrupt(dir)
+			cfg := cfg
+			if tc.cfg != (ExpConfig{}) {
+				cfg = tc.cfg
+			}
+			_, err := e.Run(context.Background(), cfg, RunOptions{Checkpoint: &Checkpoint{Dir: dir, Resume: true}})
+			if err == nil {
+				t.Fatal("damaged journal was silently resumed")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("diagnostic %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// A directory holding unit records but no manifest is the debris of an
+// older journal (e.g. a hand-deleted manifest after a mismatch
+// refusal). Starting a fresh journal over it would let a later resume
+// adopt the stale records — unit files carry no seed of their own — so
+// it must be refused, with or without Resume.
+func TestFreshJournalRefusesManifestlessUnitDebris(t *testing.T) {
+	e, cfg, pristine := writeCompleteJournal(t)
+	for _, resume := range []bool{false, true} {
+		dir := copyJournal(t, pristine)
+		if err := os.Remove(filepath.Join(dir, manifestFile)); err != nil {
+			t.Fatal(err)
+		}
+		_, err := e.Run(context.Background(), cfg, RunOptions{Checkpoint: &Checkpoint{Dir: dir, Resume: resume}})
+		if err == nil || !strings.Contains(err.Error(), "no manifest") {
+			t.Errorf("resume=%v over manifest-less unit debris: %v", resume, err)
+		}
+	}
+}
+
+// Resuming an empty directory is a fresh start, not an error: there is
+// nothing to restore yet (the CLIs rely on this when an earlier
+// interrupt never reached an experiment).
+func TestResumeEmptyDirStartsFresh(t *testing.T) {
+	e, ok := Lookup("eq3")
+	if !ok {
+		t.Fatal("eq3 not registered")
+	}
+	cfg := ExpConfig{Seed: 3, Trials: 1}
+	dir := filepath.Join(t.TempDir(), "fresh")
+	res, err := e.Run(context.Background(), cfg, RunOptions{Checkpoint: &Checkpoint{Dir: dir, Resume: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := e.Run(context.Background(), cfg, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cj, _ := resultBytes(t, clean)
+	rj, _ := resultBytes(t, res)
+	if cj != rj {
+		t.Error("resume-into-empty-dir run differs from a plain run")
+	}
+}
+
+func TestRunShardValidation(t *testing.T) {
+	e, ok := Lookup("eq3")
+	if !ok {
+		t.Fatal("eq3 not registered")
+	}
+	cfg := ExpConfig{Seed: 1, Trials: 1}
+	if err := e.RunShard(context.Background(), cfg, Shard{}, RunOptions{Checkpoint: &Checkpoint{Dir: t.TempDir()}}); err == nil {
+		t.Error("RunShard accepted the zero shard")
+	}
+	if err := e.RunShard(context.Background(), cfg, Shard{Index: 0, Count: 2}, RunOptions{}); err == nil {
+		t.Error("RunShard accepted a run without a checkpoint journal")
+	}
+	if err := e.RunShard(context.Background(), cfg, Shard{Index: 5, Count: 2}, RunOptions{Checkpoint: &Checkpoint{Dir: t.TempDir()}}); err == nil {
+		t.Error("RunShard accepted an out-of-range shard")
+	}
+}
+
+// MergeShards must refuse journals that do not cover the full unit
+// space, rather than aggregating a partial result.
+func TestMergeShardsRejectsIncompleteCoverage(t *testing.T) {
+	e, ok := Lookup("eq3")
+	if !ok {
+		t.Fatal("eq3 not registered")
+	}
+	cfg := ExpConfig{Seed: 5, Trials: 2}
+	dir := t.TempDir()
+	if err := e.RunShard(context.Background(), cfg, Shard{Index: 0, Count: 2},
+		RunOptions{Checkpoint: &Checkpoint{Dir: dir}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := MergeShards(context.Background(), e, cfg, []string{dir}, RunOptions{})
+	if err == nil || !strings.Contains(err.Error(), "first missing") {
+		t.Errorf("merge of one of two shards: %v", err)
+	}
+	if _, err := MergeShards(context.Background(), e, cfg, nil, RunOptions{}); err == nil {
+		t.Error("merge of zero directories succeeded")
+	}
+}
+
+// validManifestBytes marshals a real plan's manifest — the fuzz seeds'
+// well-formed starting point.
+func validManifestBytes(tb testing.TB) []byte {
+	e, ok := Lookup("eq3")
+	if !ok {
+		tb.Fatal("eq3 not registered")
+	}
+	plan, _, err := e.Plan(ExpConfig{Seed: 2012, Trials: 2})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	m := plan.manifest(plan.Config.withDefaults(), &Checkpoint{Name: e.Name, Salt: e.Salt, Scale: 1})
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return append(data, '\n')
+}
+
+// FuzzReadCheckpointManifest: a manifest reader that panics, or accepts
+// a document that fails its own shape check, would let a corrupted
+// journal slip into a resume. The checked-in seed corpus
+// (testdata/fuzz) regression-tests the truncation/corruption/mismatch
+// cases on every plain `go test` run.
+func FuzzReadCheckpointManifest(f *testing.F) {
+	valid := validManifestBytes(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])                      // truncated
+	f.Add(append(append([]byte{}, valid...), '{'))   // trailing garbage
+	f.Add(bytes.Replace(valid, []byte(`"version": 1`), []byte(`"version": 2`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"trials": 2`), []byte(`"trials": 0`), 1))
+	f.Add([]byte("{}"))
+	f.Add([]byte("null"))
+	f.Add([]byte(""))
+	f.Add([]byte(`{"version":1,"seed":2012,"trials":2,"kind":1,"points":[{"key":"p","salt":9,"trials":2,"arms":["a"]}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadCheckpointManifest(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := m.checkShape(); err != nil {
+			t.Fatalf("accepted manifest fails its own shape check: %v", err)
+		}
+		// Accepted manifests must re-encode and re-read to the same value.
+		re, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("accepted manifest does not re-encode: %v", err)
+		}
+		if _, err := ReadCheckpointManifest(bytes.NewReader(re)); err != nil {
+			t.Fatalf("re-encoded manifest rejected: %v", err)
+		}
+	})
+}

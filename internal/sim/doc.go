@@ -40,6 +40,38 @@
 // (units done, total) after each completed unit. Run() is RunContext
 // with a background context; a completed RunContext is identical to it.
 //
+// # Durable runs: checkpoints, point-level shards, merges
+//
+// The canonical unit order (point-major, trial-minor — the order
+// Seeds() walks) makes long runs durable and divisible:
+//
+//   - A Checkpoint in RunOptions journals every completed unit into a
+//     directory as it finishes (atomic write-temp+fsync+rename; one
+//     fsync'd manifest pins master seed, registry name, salt namespace,
+//     scale, trials, RNG kind, step budget and the full point/arm shape
+//     — Workers is deliberately absent, journals are
+//     workers-independent like the tables). A killed run loses at most
+//     its in-flight units. Checkpoint.Resume validates the manifest
+//     against the current plan — truncated, corrupted or mismatched
+//     journals are rejected with a diagnostic, never silently resumed —
+//     restores the completed units, re-derives trial-0 representative
+//     graphs from their seeds, and re-feeds only the missing units; a
+//     resumed Result is byte-identical to an uninterrupted one.
+//   - PlanShard(i, m) partitions the unit space into m contiguous
+//     blocks (exact cover, no overlap, balanced to within one unit), so
+//     one experiment can span machines below the experiment level.
+//     Experiment.RunShard runs one block, journaling it into a
+//     Checkpoint; MergeShards validates and stitches the shard journals
+//     back into the canonical Result, byte-identical to an unsharded
+//     run. cmd/sweep surfaces all of this as -shard i/m@points,
+//     -checkpoint, -resume and -merge (cmd/paperrun: -checkpoint,
+//     -resume).
+//
+// Because a restored unit is not re-run, arms must return everything
+// they measure through Measurement (the Extra channel carries outputs
+// beyond the two cover times) — never through closure-captured side
+// arrays, which a restore cannot replay.
+//
 // # Seed-derivation contract
 //
 // Every random quantity is a pure function of the master seed. All

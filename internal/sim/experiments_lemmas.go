@@ -127,15 +127,9 @@ func lemma13Plan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]Lemma13Row, 
 		})
 		return gapVal, gapErr
 	}
-	type sideRow struct {
-		setSize int
-		tSteps  int64
-		bound   float64
-	}
-	side := make([]sideRow, len(radii))
 	var arms []Arm
-	for ri, radius := range radii {
-		ri, radius := ri, radius
+	for _, radius := range radii {
+		radius := radius
 		arms = append(arms, Arm{Name: fmt.Sprintf("radius=%d", radius), Run: func(trial int, g *graph.Graph, r *rng.Rand, sc *walk.CoverScratch, maxSteps int64) (Measurement, error) {
 			gapValue, err := lazyGapOf(g)
 			if err != nil {
@@ -167,12 +161,18 @@ func lemma13Plan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]Lemma13Row, 
 					missed++
 				}
 			}
-			side[ri] = sideRow{
-				setSize: len(ball),
-				tSteps:  tSteps,
-				bound:   core.UnvisitedSetProbBound(g.N(), m, dS, gapValue, float64(tSteps)),
-			}
-			return Measurement{Vertex: float64(missed) / float64(walks)}, nil
+			// |S|, t and the bound are derived quantities of the shared
+			// instance; Extra carries them with the unit so a restored
+			// (checkpointed or shard-merged) run reproduces the table
+			// without re-running the walks.
+			return Measurement{
+				Vertex: float64(missed) / float64(walks),
+				Extra: []float64{
+					float64(len(ball)),
+					float64(tSteps),
+					core.UnvisitedSetProbBound(g.N(), m, dS, gapValue, float64(tSteps)),
+				},
+			}, nil
 		}})
 	}
 	plan := &SweepPlan{Config: cfg.config(), Points: []PointSpec{{
@@ -185,12 +185,17 @@ func lemma13Plan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]Lemma13Row, 
 	finish := func(points []PointResult) ([]Lemma13Row, *Table, error) {
 		var rows []Lemma13Row
 		for ri := range radii {
+			res := points[0].Arms[ri]
+			ex := res.Measurements[0].Extra
+			if len(ex) != 3 {
+				return nil, nil, fmt.Errorf("sim: lemma13 radius %d: measurement carries %d extra values, want 3", radii[ri], len(ex))
+			}
 			rows = append(rows, Lemma13Row{
 				N:        n,
-				SetSize:  side[ri].setSize,
-				T:        side[ri].tSteps,
-				Measured: points[0].Arms[ri].VertexStats.Mean,
-				Bound:    side[ri].bound,
+				SetSize:  int(ex[0]),
+				T:        int64(ex[1]),
+				Measured: res.VertexStats.Mean,
+				Bound:    ex[2],
 			})
 		}
 		t := NewTable("LEMMA13: Pr(S unvisited at t) vs the exponential bound (lazy walk, 4-regular)",

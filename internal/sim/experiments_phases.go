@@ -20,31 +20,20 @@ type PhaseRow struct {
 }
 
 func phaseStructurePlan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]PhaseRow, *Table, error)) {
-	// The side arrays below are sized from cfg.Trials; default here so
-	// the builder is safe even if a caller skips withDefaults.
-	cfg = cfg.withDefaults()
 	n := 500 * cfg.Scale
 	degs := []int{3, 4, 6}
-	type sample struct {
-		phases      float64
-		firstFrac   float64
-		medianLen   float64
-		longestTail float64
-	}
-	// Phase statistics are richer than a Measurement, so the arm fills
-	// a trial-indexed side array (each trial owns its slot; scheduling
-	// cannot reorder or race the writes).
-	samples := make([][]sample, len(degs))
+	// Phase statistics are richer than the two cover channels, so the
+	// arm returns them in Measurement.Extra — the serialisable side
+	// channel that survives checkpoint restores and shard merges, which
+	// a closure-captured side array would not.
 	plan := &SweepPlan{Config: cfg.config()}
 	var nns []int
-	for di, deg := range degs {
+	for _, deg := range degs {
 		nn := n
 		if nn*deg%2 != 0 {
 			nn++
 		}
 		nns = append(nns, nn)
-		samples[di] = make([]sample, cfg.Trials)
-		out := samples[di]
 		plan.Points = append(plan.Points, PointSpec{
 			Key:   fmt.Sprintf("phases d=%d", deg),
 			Salt:  Salt(saltPHASES, uint64(deg)),
@@ -60,40 +49,43 @@ func phaseStructurePlan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]Phase
 					return Measurement{}, nil
 				}
 				m := float64(g.M())
-				s := sample{
-					phases:    float64(len(lens)),
-					firstFrac: float64(lens[0]) / m,
-				}
+				firstFrac := float64(lens[0]) / m
+				var medianLen, longestTail float64
 				rest := append([]int64(nil), lens[1:]...)
 				if len(rest) > 0 {
 					sort.Slice(rest, func(i, j int) bool { return rest[i] < rest[j] })
-					s.medianLen = float64(rest[len(rest)/2])
-					s.longestTail = float64(rest[len(rest)-1]) / m
+					medianLen = float64(rest[len(rest)/2])
+					longestTail = float64(rest[len(rest)-1]) / m
 				}
-				out[trial] = s
-				return Measurement{Vertex: s.phases}, nil
+				return Measurement{
+					Vertex: float64(len(lens)),
+					Extra:  []float64{firstFrac, medianLen, longestTail},
+				}, nil
 			}}},
 		})
 	}
 	finish := func(points []PointResult) ([]PhaseRow, *Table, error) {
 		var rows []PhaseRow
 		for di, deg := range degs {
-			var acc sample
-			for _, s := range samples[di] {
-				acc.phases += s.phases
-				acc.firstFrac += s.firstFrac
-				acc.medianLen += s.medianLen
-				acc.longestTail += s.longestTail
+			var phases, firstFrac, medianLen, longestTail float64
+			ms := points[di].Arms[0].Measurements
+			for _, m := range ms {
+				phases += m.Vertex
+				if len(m.Extra) == 3 {
+					firstFrac += m.Extra[0]
+					medianLen += m.Extra[1]
+					longestTail += m.Extra[2]
+				}
 			}
-			tr := float64(len(samples[di]))
+			tr := float64(len(ms))
 			rows = append(rows, PhaseRow{
 				Degree:      deg,
 				N:           nns[di],
 				M:           points[di].Rep.M(),
-				Phases:      acc.phases / tr,
-				FirstFrac:   acc.firstFrac / tr,
-				MedianLen:   acc.medianLen / tr,
-				LongestTail: acc.longestTail / tr,
+				Phases:      phases / tr,
+				FirstFrac:   firstFrac / tr,
+				MedianLen:   medianLen / tr,
+				LongestTail: longestTail / tr,
 			})
 		}
 		t := NewTable("PHASES: blue-phase decomposition of the E-process",

@@ -51,13 +51,17 @@ type Experiment struct {
 // trials, scale — everything needed to reproduce it; Workers is
 // deliberately absent because results are worker-invariant).
 // Cancellation semantics are SweepPlan.RunContext's: prompt, drained,
-// leak-free, ctx.Err() returned.
+// leak-free, ctx.Err() returned. When opts.Checkpoint is set, completed
+// (point, trial) units are journaled as they finish and — with
+// Checkpoint.Resume — restored from an earlier interrupted run, whose
+// resumed Result is byte-identical to an uninterrupted one.
 func (e Experiment) Run(ctx context.Context, cfg ExpConfig, opts RunOptions) (*Result, error) {
 	plan, finish, err := e.Plan(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s: plan: %w", e.Name, err)
 	}
-	points, err := plan.RunContext(ctx, opts)
+	d := cfg.withDefaults()
+	points, err := plan.RunContext(ctx, e.checkpointOpts(d, opts))
 	if err != nil {
 		return nil, err
 	}
@@ -65,9 +69,40 @@ func (e Experiment) Run(ctx context.Context, cfg ExpConfig, opts RunOptions) (*R
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s: %w", e.Name, err)
 	}
-	d := cfg.withDefaults()
 	res.Name, res.Seed, res.Trials, res.Scale = e.Name, d.Seed, d.Trials, d.Scale
 	return res, nil
+}
+
+// RunShard plans the experiment and executes only the given point-level
+// shard of its (point, trial) unit space, journaling every completed
+// unit into opts.Checkpoint (required). No Result is produced — a
+// strict subset of the units cannot be aggregated; MergeShards stitches
+// the journals of all shards into the canonical Result, byte-identical
+// to an unsharded Run.
+func (e Experiment) RunShard(ctx context.Context, cfg ExpConfig, shard Shard, opts RunOptions) error {
+	plan, _, err := e.Plan(cfg)
+	if err != nil {
+		return fmt.Errorf("sim: %s: plan: %w", e.Name, err)
+	}
+	return plan.RunShard(ctx, shard, e.checkpointOpts(cfg.withDefaults(), opts))
+}
+
+// checkpointOpts stamps opts.Checkpoint with the experiment's registry
+// identity (manifest key: name, salt namespace, scale) unless the
+// caller already set one. The caller's Checkpoint is not mutated.
+func (e Experiment) checkpointOpts(d ExpConfig, opts RunOptions) RunOptions {
+	if opts.Checkpoint == nil {
+		return opts
+	}
+	ck := *opts.Checkpoint
+	if ck.Name == "" {
+		ck.Name, ck.Salt = e.Name, e.Salt
+	}
+	if ck.Scale == 0 {
+		ck.Scale = d.Scale
+	}
+	opts.Checkpoint = &ck
+	return opts
 }
 
 // registry is keyed by experiment name; filled by init-time register

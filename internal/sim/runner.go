@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math/rand"
 	"runtime"
+	"slices"
 
 	"repro/internal/graph"
 	"repro/internal/rng"
@@ -53,10 +54,25 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Measurement is one trial's outcome.
+// Measurement is one trial's outcome. The JSON encoding is the unit
+// payload of checkpoint journals and shard merges; Go's float64
+// round-trips exactly through it, so restored measurements are
+// bit-identical to the originals.
 type Measurement struct {
-	Vertex float64 // vertex cover time in steps
-	Edge   float64 // edge cover time in steps
+	Vertex float64 `json:"vertex"` // vertex cover time in steps
+	Edge   float64 `json:"edge"`   // edge cover time in steps
+	// Extra carries arm-specific side outputs beyond the two cover
+	// channels (e.g. the phase decomposition's per-trial statistics).
+	// It travels with the (point, trial) unit through checkpoint
+	// restores and shard merges, which closure-captured side arrays
+	// cannot — see ArmFunc.
+	Extra []float64 `json:"extra,omitempty"`
+}
+
+// Equal reports bit-for-bit equality of two measurements, Extra
+// included. (Measurement is not ==-comparable since Extra is a slice.)
+func (m Measurement) Equal(o Measurement) bool {
+	return m.Vertex == o.Vertex && m.Edge == o.Edge && slices.Equal(m.Extra, o.Extra)
 }
 
 // ArmResult aggregates one arm's trial batch. (The registry-level

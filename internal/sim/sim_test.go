@@ -55,7 +55,7 @@ func TestRunReproducibleAcrossWorkers(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range a.Measurements {
-		if a.Measurements[i] != b.Measurements[i] {
+		if !a.Measurements[i].Equal(b.Measurements[i]) {
 			t.Fatalf("trial %d differs across worker counts: %+v vs %+v",
 				i, a.Measurements[i], b.Measurements[i])
 		}
@@ -73,7 +73,7 @@ func TestRunSeedSensitivity(t *testing.T) {
 	}
 	same := 0
 	for i := range a.Measurements {
-		if a.Measurements[i] == b.Measurements[i] {
+		if a.Measurements[i].Equal(b.Measurements[i]) {
 			same++
 		}
 	}

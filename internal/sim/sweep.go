@@ -98,9 +98,11 @@ const (
 // sweep as the point's representative instance), r is the arm's private
 // generator, and sc is the worker's reusable cover scratch. The
 // returned Measurement feeds the arm's Vertex/Edge summaries; arms with
-// richer outputs may additionally write trial-indexed side arrays
-// captured by closure (each trial owns its slot, so no locking is
-// needed and results are independent of worker scheduling).
+// richer outputs return them in Measurement.Extra, which travels with
+// the (point, trial) unit through checkpoint journals and shard merges.
+// Arms must NOT smuggle results through closure-captured side arrays:
+// a unit restored from a checkpoint is not re-run, so closure state
+// would silently stay zero on a resumed or merged run.
 type ArmFunc func(trial int, g *graph.Graph, r *rng.Rand, sc *walk.CoverScratch, maxSteps int64) (Measurement, error)
 
 // Arm is one process (or measurement) compared on a point's shared
@@ -210,6 +212,59 @@ type SweepPlan struct {
 	Points []PointSpec
 }
 
+// unit is one scheduling unit of a plan: one trial of one point. The
+// canonical unit order — point-major, trial-minor, exactly the order
+// Seeds() walks — indexes checkpoint journals and PlanShard blocks.
+type unit struct{ point, trial int }
+
+// unitList enumerates the plan's canonical (point, trial) unit
+// sequence.
+func (pl *SweepPlan) unitList(cfg Config) []unit {
+	var units []unit
+	for pi := range pl.Points {
+		for t := 0; t < pl.Points[pi].trials(cfg); t++ {
+			units = append(units, unit{pi, t})
+		}
+	}
+	return units
+}
+
+// UnitCount returns the length of the plan's canonical (point, trial)
+// unit sequence — the space PlanShard partitions and checkpoint
+// journals index into.
+func (pl *SweepPlan) UnitCount() int {
+	cfg := pl.Config.withDefaults()
+	total := 0
+	for i := range pl.Points {
+		total += pl.Points[i].trials(cfg)
+	}
+	return total
+}
+
+// PlanShard returns the canonical-unit interval [lo, hi) of shard i of
+// m over the plan's (point, trial) unit space. Shards are contiguous in
+// canonical order and partition it exactly — lo(0) = 0,
+// hi(m−1) = UnitCount(), hi(i) = lo(i+1), sizes differing by at most
+// one — so a single experiment can span machines below the point level
+// while the shards' journals merge back into the canonical output
+// (MergeShards) byte-identically to an unsharded run.
+func (pl *SweepPlan) PlanShard(i, m int) (lo, hi int, err error) {
+	if m < 1 || i < 0 || i >= m {
+		return 0, 0, fmt.Errorf("sim: bad plan shard %d/%d: need 0 <= i < m", i, m)
+	}
+	u := pl.UnitCount()
+	return i * u / m, (i + 1) * u / m, nil
+}
+
+// Shard names one PlanShard block: shard Index of Count. The zero value
+// means "the whole plan".
+type Shard struct {
+	Index int
+	Count int
+}
+
+func (s Shard) enabled() bool { return s.Count != 0 }
+
 // Seeds enumerates every generator seed the plan would derive, in
 // deterministic order. The sweep_test.go regression test asserts global
 // pairwise distinctness across all experiments.
@@ -287,11 +342,19 @@ feed:
 type RunOptions struct {
 	// Progress, when non-nil, is called after each completed
 	// (point, trial) unit with the cumulative number of completed units
-	// and the total unit count. Calls are serialised (no locking needed
-	// in the callback) but may arrive from any worker goroutine, so the
-	// order units complete in is scheduler-dependent; the final call is
-	// always (total, total) on an uncancelled run.
+	// and the total count of units this run executes (units restored
+	// from a checkpoint are not re-run and are not counted). Calls are
+	// serialised (no locking needed in the callback) but may arrive
+	// from any worker goroutine, so the order units complete in is
+	// scheduler-dependent; the final call is always (total, total) on
+	// an uncancelled run.
 	Progress func(done, total int)
+	// Checkpoint, when non-nil, journals every completed (point, trial)
+	// unit into Checkpoint.Dir as it finishes (write-temp+rename, so a
+	// kill can lose at most the in-flight units) and, when
+	// Checkpoint.Resume is set, restores the completed units of an
+	// existing journal instead of re-running them. See Checkpoint.
+	Checkpoint *Checkpoint
 }
 
 // Run executes the plan and returns one PointResult per point, in point
@@ -305,12 +368,52 @@ func (pl *SweepPlan) Run() ([]PointResult, error) {
 // completion, all workers drain and exit (no goroutine leaks), and
 // ctx.Err() is returned. A completed run under context.Background() is
 // identical to Run(): results are a pure function of the Config's
-// master seed either way.
+// master seed either way — including runs resumed from a checkpoint,
+// whose restored units carry the same measurements the original run
+// derived and whose representative graphs are re-derived from the same
+// seeds.
 func (pl *SweepPlan) RunContext(ctx context.Context, opts RunOptions) ([]PointResult, error) {
+	return pl.runSpan(ctx, opts, Shard{}, nil)
+}
+
+// RunShard executes only the given PlanShard block of the plan's
+// canonical unit space, journaling every completed unit into
+// opts.Checkpoint (required: a strict subset of the unit space cannot
+// be aggregated, so the journal is the shard's only output). Shard
+// journals are stitched back into the canonical result by MergeShards.
+// A shard run may itself be resumed (Checkpoint.Resume).
+func (pl *SweepPlan) RunShard(ctx context.Context, shard Shard, opts RunOptions) error {
+	if !shard.enabled() {
+		return errors.New("sim: RunShard needs a non-zero Shard; use RunContext for the whole plan")
+	}
+	if opts.Checkpoint == nil {
+		return errors.New("sim: RunShard needs a Checkpoint: the journal is the shard's only output")
+	}
+	_, err := pl.runSpan(ctx, opts, shard, nil)
+	return err
+}
+
+// repWork marks a work item that regenerates a restored point's
+// representative graph instead of running a (point, trial) unit.
+const repWork = -1
+
+// workItem is one entry of runSpan's pool feed: a canonical unit to
+// execute (unit >= 0) or, after a restore, the re-derivation of point
+// rep's trial-0 representative graph (unit == repWork).
+type workItem struct{ unit, rep int }
+
+// runSpan is the shared core of RunContext, RunShard and MergeShards:
+// it executes the units of one contiguous block of the canonical unit
+// space (the whole space for the zero Shard), restores completed units
+// from opts.Checkpoint's journal or the caller-supplied restored map
+// instead of re-running them, journals completions when a checkpoint is
+// configured, and aggregates the full []PointResult only when the block
+// covers the whole plan (a strict shard returns (nil, nil) on success).
+func (pl *SweepPlan) runSpan(ctx context.Context, opts RunOptions, shard Shard, restored map[int]UnitRecord) ([]PointResult, error) {
 	cfg := pl.Config.withDefaults()
-	type unit struct{ point, trial int }
 	var units []unit
 	results := make([]PointResult, len(pl.Points))
+	firstUnit := make([]int, len(pl.Points))
 	for pi := range pl.Points {
 		pt := &pl.Points[pi]
 		if pt.Graph == nil {
@@ -325,18 +428,73 @@ func (pl *SweepPlan) RunContext(ctx context.Context, opts RunOptions) ([]PointRe
 			}
 			results[pi].Arms[ai].Measurements = make([]Measurement, trials)
 		}
+		firstUnit[pi] = len(units)
 		for t := 0; t < trials; t++ {
 			units = append(units, unit{pi, t})
 		}
 	}
+	lo, hi := 0, len(units)
+	if shard.enabled() {
+		var err error
+		if lo, hi, err = pl.PlanShard(shard.Index, shard.Count); err != nil {
+			return nil, err
+		}
+	}
+	full := lo == 0 && hi == len(units)
+	var jl *journal
+	if opts.Checkpoint != nil {
+		fromDisk, j, err := openCheckpoint(pl, cfg, opts.Checkpoint)
+		if err != nil {
+			return nil, err
+		}
+		jl = j
+		if restored == nil {
+			restored = fromDisk
+		}
+	}
+	// Feed: the block's units minus the restored ones (their
+	// measurements are injected as-is), plus — on a full span — the
+	// representative-graph regenerations for points whose trial-0 unit
+	// was restored: PointResult.Rep must be the literal trial-0
+	// instance, and it is a pure function of the graph seed, so
+	// re-deriving it reproduces the original exactly.
+	var work []workItem
+	for u := lo; u < hi; u++ {
+		if rec, ok := restored[u]; ok {
+			un := units[u]
+			for ai := range rec.Arms {
+				results[un.point].Arms[ai].Measurements[un.trial] = rec.Arms[ai]
+			}
+			continue
+		}
+		work = append(work, workItem{unit: u, rep: repWork})
+	}
+	if full {
+		for pi := range pl.Points {
+			if _, ok := restored[firstUnit[pi]]; ok {
+				work = append(work, workItem{unit: repWork, rep: pi})
+			}
+		}
+	}
 	var onDone func(int)
 	if opts.Progress != nil {
-		total := len(units)
+		total := len(work)
 		onDone = func(done int) { opts.Progress(done, total) }
 	}
-	err := runUnits(ctx, cfg.Workers, len(units), onDone, func(u int, sc *walk.CoverScratch) error {
-		pt := &pl.Points[units[u].point]
-		trial := units[u].trial
+	err := runUnits(ctx, cfg.Workers, len(work), onDone, func(w int, sc *walk.CoverScratch) error {
+		if it := work[w]; it.unit == repWork {
+			pt := &pl.Points[it.rep]
+			g, err := pt.Graph(rand.New(rng.NewSource(cfg.Kind, pt.graphSeed(cfg, 0))))
+			if err != nil {
+				return fmt.Errorf("sim: point %q trial 0 graph: %w", pt.Key, err)
+			}
+			g.Freeze()
+			results[it.rep].Rep = g
+			return nil
+		}
+		u := work[w].unit
+		pi, trial := units[u].point, units[u].trial
+		pt := &pl.Points[pi]
 		g, err := pt.Graph(rand.New(rng.NewSource(cfg.Kind, pt.graphSeed(cfg, trial))))
 		if err != nil {
 			return fmt.Errorf("sim: point %q trial %d graph: %w", pt.Key, trial, err)
@@ -344,8 +502,9 @@ func (pl *SweepPlan) RunContext(ctx context.Context, opts RunOptions) ([]PointRe
 		g.Freeze()
 		if trial == 0 {
 			// Each (point, 0) unit is the unique writer of its Rep slot.
-			results[units[u].point].Rep = g
+			results[pi].Rep = g
 		}
+		ms := make([]Measurement, len(pt.Arms))
 		for ai := range pt.Arms {
 			arm := &pt.Arms[ai]
 			r := rng.NewRand(rng.NewSource(cfg.Kind, pt.armSeed(cfg, ai, trial)))
@@ -353,12 +512,21 @@ func (pl *SweepPlan) RunContext(ctx context.Context, opts RunOptions) ([]PointRe
 			if err != nil {
 				return fmt.Errorf("sim: point %q trial %d arm %q: %w", pt.Key, trial, arm.Name, err)
 			}
-			results[units[u].point].Arms[ai].Measurements[trial] = m
+			ms[ai] = m
+			results[pi].Arms[ai].Measurements[trial] = m
+		}
+		if jl != nil {
+			if err := jl.writeUnit(UnitRecord{Unit: u, Point: pt.Key, Trial: trial, Arms: ms}); err != nil {
+				return fmt.Errorf("sim: point %q trial %d: journal: %w", pt.Key, trial, err)
+			}
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	if !full {
+		return nil, nil
 	}
 	for pi := range results {
 		for ai := range results[pi].Arms {

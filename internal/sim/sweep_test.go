@@ -260,6 +260,68 @@ func TestFigure1WorkerInvariant(t *testing.T) {
 	}
 }
 
+// Property test for the point-level shard partition — the unit-space
+// analogue of cmd/sweep's experiment-level shardSelect guarantee: for
+// random plan shapes and every m ≤ 8, the blocks PlanShard(0..m-1)
+// cover each (point, trial) unit exactly once, contiguously, in
+// canonical order, with no overlap, and balanced to within one unit.
+func TestPlanShardPartitionsUnitSpace(t *testing.T) {
+	rnd := rand.New(rand.NewSource(99))
+	var plans []*SweepPlan
+	for it := 0; it < 40; it++ {
+		plan := &SweepPlan{Config: Config{Trials: 1 + rnd.Intn(6)}}
+		points := 1 + rnd.Intn(9)
+		for p := 0; p < points; p++ {
+			ps := PointSpec{
+				Key:   fmt.Sprintf("pt%d", p),
+				Salt:  Salt(uint64(2000+it), uint64(p)),
+				Graph: regularFactory(8, 3),
+			}
+			if rnd.Intn(2) == 0 {
+				ps.Trials = 1 + rnd.Intn(7) // mix per-point overrides with the plan default
+			}
+			plan.Points = append(plan.Points, ps)
+		}
+		plans = append(plans, plan)
+	}
+	// Every registered experiment's real plan is subject to the same
+	// property.
+	plans = append(plans, allExperimentPlans(ExpConfig{Seed: 3})...)
+	for pi, plan := range plans {
+		total := plan.UnitCount()
+		if got := len(plan.unitList(plan.Config.withDefaults())); got != total {
+			t.Fatalf("plan %d: UnitCount %d but unitList has %d entries", pi, total, got)
+		}
+		for m := 1; m <= 8; m++ {
+			prev := 0
+			for i := 0; i < m; i++ {
+				lo, hi, err := plan.PlanShard(i, m)
+				if err != nil {
+					t.Fatalf("plan %d: PlanShard(%d, %d): %v", pi, i, m, err)
+				}
+				if lo != prev {
+					t.Fatalf("plan %d m=%d: shard %d starts at %d, previous ended at %d (gap or overlap)", pi, m, i, lo, prev)
+				}
+				if hi < lo {
+					t.Fatalf("plan %d m=%d: shard %d is [%d, %d)", pi, m, i, lo, hi)
+				}
+				if size := hi - lo; size < total/m || size > total/m+1 {
+					t.Errorf("plan %d m=%d: shard %d holds %d units, want %d or %d", pi, m, i, size, total/m, total/m+1)
+				}
+				prev = hi
+			}
+			if prev != total {
+				t.Fatalf("plan %d m=%d: shards cover %d of %d units", pi, m, prev, total)
+			}
+		}
+	}
+	for _, bad := range [][2]int{{0, 0}, {-1, 2}, {2, 2}, {5, 4}, {0, -1}} {
+		if _, _, err := plans[0].PlanShard(bad[0], bad[1]); err == nil {
+			t.Errorf("PlanShard(%d, %d) accepted", bad[0], bad[1])
+		}
+	}
+}
+
 // Trials overrides on a point must bound both execution and seed
 // enumeration.
 func TestPointTrialsOverride(t *testing.T) {

@@ -20,7 +20,12 @@
 //     experiments (the generated index is EXPERIMENTS.md; `go run
 //     ./cmd/sweep -list` prints the authoritative live list) and
 //     RunExperiment runs one by name under a context, with prompt
-//     cancellation and per-unit progress reporting.
+//     cancellation and per-unit progress reporting. Long runs are
+//     durable: a Checkpoint journals completed (point, trial) units so
+//     an interrupted run resumes byte-identically, Experiment.RunShard
+//     splits one experiment's unit space across machines, and
+//     MergeShards stitches the shard journals back into the canonical
+//     result.
 //
 // Quick start:
 //
@@ -65,8 +70,19 @@ type (
 	ExperimentResult = sim.Result
 	// ExperimentTable is the rendered table of an experiment.
 	ExperimentTable = sim.Table
-	// RunOptions carries the per-unit Progress callback.
+	// RunOptions carries the per-unit Progress callback and the
+	// optional Checkpoint journal.
 	RunOptions = sim.RunOptions
+	// Checkpoint configures the durable-run journal: completed
+	// (point, trial) units are written atomically as they finish, and
+	// Resume restores them so an interrupted run picks up where it died
+	// with byte-identical results. Checkpoints are workers-independent.
+	Checkpoint = sim.Checkpoint
+	// Shard selects one contiguous block of an experiment's
+	// (point, trial) unit space for Experiment.RunShard, so a single
+	// experiment can span machines; MergeShards stitches the shards'
+	// journals back into the canonical result.
+	Shard = sim.Shard
 )
 
 var (
@@ -77,8 +93,14 @@ var (
 	LookupExperiment = sim.Lookup
 	// RunExperiment runs the named experiment under ctx; cancellation
 	// is prompt and leak-free, and the result is a pure function of
-	// the config's master seed.
+	// the config's master seed. For checkpointed or sharded runs, use
+	// LookupExperiment plus Experiment.Run / Experiment.RunShard with a
+	// Checkpoint in RunOptions.
 	RunExperiment = sim.RunExperiment
+	// MergeShards stitches the journals of point-sharded runs
+	// (Experiment.RunShard) into the canonical unsharded result,
+	// byte-identical to a plain run at the same configuration.
+	MergeShards = sim.MergeShards
 )
 
 // Graph types.
