@@ -49,6 +49,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -56,6 +57,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/sim"
 )
@@ -63,8 +65,34 @@ import (
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// usageError marks a command-line usage mistake — inconsistent flags, a
+// malformed shard spec — as opposed to a failed run. main exits 2 for
+// usage errors (the conventional usage exit code), 1 otherwise, so
+// fleet scripts and process managers can tell a bad invocation from a
+// genuine failure.
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+func (e usageError) Unwrap() error { return e.err }
+
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
+// exitCode maps an error from run to the process exit code.
+func exitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	var ue usageError
+	if errors.As(err, &ue) {
+		return 2
+	}
+	return 1
 }
 
 // shardSpec is a parsed -shard flag: the shard coordinates plus the
@@ -125,11 +153,46 @@ func selectExperiments(expList string) ([]sim.Experiment, error) {
 		name = strings.TrimSpace(name)
 		e, ok := sim.Lookup(name)
 		if !ok {
-			return nil, fmt.Errorf("unknown experiment %q (known: %s)", name, strings.Join(sim.Names(), ", "))
+			return nil, usagef("unknown experiment %q (known: %s)", name, strings.Join(sim.Names(), ", "))
 		}
 		selected = append(selected, e)
 	}
 	return selected, nil
+}
+
+// cliFlags are the flag combinations validate checks, separated from
+// run so the CLI tests can pin the usage-error surface directly.
+type cliFlags struct {
+	shard, ckDir, merge, jsonDir string
+	resume                       bool
+}
+
+// validate rejects inconsistent flag combinations fast, with usage
+// errors (exit 2), and returns the parsed shard spec. Failing before
+// any experiment runs matters for fleets: a misparsed shard spec or a
+// resume pointed at nothing would otherwise burn machine-hours or
+// silently journal to a fresh directory.
+func (f cliFlags) validate() (shardSpec, error) {
+	var spec shardSpec
+	var err error
+	if f.shard != "" {
+		if spec, err = parseShard(f.shard); err != nil {
+			return spec, usageError{err}
+		}
+	}
+	if f.resume && f.ckDir == "" {
+		return spec, usagef("-resume needs -checkpoint to name the journal directory")
+	}
+	if f.merge != "" && (f.shard != "" || f.ckDir != "") {
+		return spec, usagef("-merge reads finished shard journals; it cannot be combined with -shard or -checkpoint")
+	}
+	if spec.points && f.ckDir == "" {
+		return spec, usagef("-shard i/m@points needs -checkpoint: the journal is the shard's only output")
+	}
+	if spec.points && f.jsonDir != "" {
+		return spec, usagef("-shard i/m@points journals units only and writes no Results; use `-merge ... -json %s` after all shards finish", f.jsonDir)
+	}
+	return spec, nil
 }
 
 // progressOpts returns RunOptions that report (units done / total) for
@@ -186,20 +249,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	var spec shardSpec
-	if *shard != "" {
-		if spec, err = parseShard(*shard); err != nil {
-			return err
-		}
-	}
-	if *resume && *ckDir == "" {
-		return fmt.Errorf("-resume needs -checkpoint to name the journal directory")
-	}
-	if *merge != "" && (*shard != "" || *ckDir != "") {
-		return fmt.Errorf("-merge reads finished shard journals; it cannot be combined with -shard or -checkpoint")
-	}
-	if spec.points && *jsonDir != "" {
-		return fmt.Errorf("-shard i/m@points journals units only and writes no Results; use `-merge ... -json %s` after all shards finish", *jsonDir)
+	spec, err := cliFlags{shard: *shard, ckDir: *ckDir, merge: *merge, jsonDir: *jsonDir, resume: *resume}.validate()
+	if err != nil {
+		return err
 	}
 	if *jsonDir != "" {
 		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
@@ -207,7 +259,11 @@ func run() error {
 		}
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM joins SIGINT so fleet and process managers (and `sweepd`
+	// smoke scripts) get the same graceful drain an interactive Ctrl-C
+	// does: in-flight units finish and are journaled, instead of the
+	// journal tail being lost to a hard kill.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	cfg := sim.ExpConfig{Seed: *seed, Trials: *trials, Scale: *scale, Workers: *workers}
@@ -245,9 +301,6 @@ func run() error {
 	// a strict subset of the units cannot be aggregated. Merge the
 	// shards' -checkpoint dirs afterwards with -merge.
 	if spec.points {
-		if *ckDir == "" {
-			return fmt.Errorf("-shard i/m@points needs -checkpoint: the journal is the shard's only output")
-		}
 		for _, e := range selected {
 			opts := progressOpts(e.Name, *verbose)
 			opts.Checkpoint = &sim.Checkpoint{Dir: filepath.Join(*ckDir, e.Name), Resume: *resume}

@@ -124,3 +124,68 @@ func TestShardsPartitionExperiments(t *testing.T) {
 		}
 	}
 }
+
+// Inconsistent flag combinations must fail fast as usage errors (exit
+// 2), before any experiment runs: a fleet script that typos a resume or
+// merge invocation should learn immediately, not after burning
+// machine-hours or journaling into a fresh directory.
+func TestValidateRejectsInconsistentFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		f    cliFlags
+		want string
+	}{
+		{"resume without checkpoint", cliFlags{resume: true}, "-resume needs -checkpoint"},
+		{"merge with shard", cliFlags{merge: "a,b", shard: "0/2"}, "cannot be combined"},
+		{"merge with checkpoint", cliFlags{merge: "a,b", ckDir: "ck"}, "cannot be combined"},
+		{"malformed shard spec", cliFlags{shard: "2/1"}, "shard"},
+		{"point shard without checkpoint", cliFlags{shard: "0/2@points"}, "needs -checkpoint"},
+		{"point shard with json", cliFlags{shard: "0/2@points", ckDir: "ck", jsonDir: "out"}, "no Results"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.f.validate()
+			if err == nil {
+				t.Fatalf("validate(%+v) accepted inconsistent flags", tc.f)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("diagnostic %q does not mention %q", err, tc.want)
+			}
+			if exitCode(err) != 2 {
+				t.Errorf("exitCode(%v) = %d, want 2 (usage error)", err, exitCode(err))
+			}
+		})
+	}
+
+	// The consistent combinations still pass.
+	for _, f := range []cliFlags{
+		{},
+		{ckDir: "ck"},
+		{ckDir: "ck", resume: true},
+		{shard: "1/3"},
+		{shard: "1/3", jsonDir: "out"},
+		{shard: "1/3@points", ckDir: "ck"},
+		{merge: "a,b", jsonDir: "out"},
+	} {
+		if _, err := f.validate(); err != nil {
+			t.Errorf("validate(%+v) = %v, want nil", f, err)
+		}
+	}
+}
+
+// exitCode separates usage mistakes (2) from failed runs (1): fleet
+// wrappers branch on the distinction.
+func TestExitCodeClassification(t *testing.T) {
+	if c := exitCode(nil); c != 0 {
+		t.Errorf("exitCode(nil) = %d, want 0", c)
+	}
+	if c := exitCode(fmt.Errorf("walk diverged")); c != 1 {
+		t.Errorf("exitCode(runtime error) = %d, want 1", c)
+	}
+	if c := exitCode(usagef("bad flags")); c != 2 {
+		t.Errorf("exitCode(usage error) = %d, want 2", c)
+	}
+	if c := exitCode(fmt.Errorf("wrapped: %w", usagef("bad flags"))); c != 2 {
+		t.Errorf("exitCode(wrapped usage error) = %d, want 2", c)
+	}
+}

@@ -1,0 +1,83 @@
+package dist
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Backoff computes jittered exponential retry delays: attempt k draws
+// uniformly from [d/2, d] where d = min(Base·2^k, Max). The half-floor
+// keeps retries from collapsing to zero while the jitter decorrelates a
+// fleet of workers hammering a restarting coordinator. The generator is
+// seeded, so a given Backoff's delay sequence is deterministic — the
+// fault-injection suite depends on reproducible schedules. Not safe for
+// concurrent use; each retry loop owns its own Backoff.
+type Backoff struct {
+	base, max time.Duration
+	attempt   int
+	rng       *rand.Rand
+}
+
+// backoff defaults: first retry ~100ms, capped at 5s.
+const (
+	defaultBackoffBase = 100 * time.Millisecond
+	defaultBackoffMax  = 5 * time.Second
+	// backoffShiftCap bounds the doubling so the shift cannot overflow
+	// a Duration even before the Max clamp.
+	backoffShiftCap = 20
+)
+
+// NewBackoff returns a Backoff with the given base and cap (zero values
+// take the defaults) and jitter stream seed.
+func NewBackoff(base, max time.Duration, seed uint64) *Backoff {
+	if base <= 0 {
+		base = defaultBackoffBase
+	}
+	if max <= 0 {
+		max = defaultBackoffMax
+	}
+	if max < base {
+		max = base
+	}
+	return &Backoff{base: base, max: max, rng: rand.New(rand.NewSource(int64(seed)))}
+}
+
+// Next returns the next delay and advances the attempt counter.
+func (b *Backoff) Next() time.Duration {
+	shift := b.attempt
+	if shift > backoffShiftCap {
+		shift = backoffShiftCap
+	}
+	d := b.base << shift
+	if d > b.max || d < b.base { // clamp, including shift overflow
+		d = b.max
+	}
+	b.attempt++
+	half := d / 2
+	return half + time.Duration(b.rng.Int63n(int64(half)+1))
+}
+
+// Reset rewinds the attempt counter after a success, so the next
+// transient failure starts from the base delay again.
+func (b *Backoff) Reset() { b.attempt = 0 }
+
+// Attempts returns how many delays have been handed out since the last
+// Reset.
+func (b *Backoff) Attempts() int { return b.attempt }
+
+// sleepCtx sleeps for d or until ctx is cancelled, returning ctx.Err()
+// in the latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,66 @@
+package dist
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffJitterBounds(t *testing.T) {
+	b := NewBackoff(100*time.Millisecond, 5*time.Second, 7)
+	want := 100 * time.Millisecond
+	for k := 0; k < 12; k++ {
+		d := b.Next()
+		if d < want/2 || d > want {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", k, d, want/2, want)
+		}
+		if want < 5*time.Second {
+			want *= 2
+			if want > 5*time.Second {
+				want = 5 * time.Second
+			}
+		}
+	}
+	if b.Attempts() != 12 {
+		t.Fatalf("Attempts = %d, want 12", b.Attempts())
+	}
+	b.Reset()
+	if d := b.Next(); d > 100*time.Millisecond {
+		t.Fatalf("delay after Reset = %v, want <= base", d)
+	}
+}
+
+func TestBackoffDeterministicPerSeed(t *testing.T) {
+	seq := func(seed uint64) []time.Duration {
+		b := NewBackoff(0, 0, seed) // zero values take the defaults
+		out := make([]time.Duration, 8)
+		for i := range out {
+			out[i] = b.Next()
+		}
+		return out
+	}
+	a, b := seq(42), seq(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at attempt %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := seq(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical delay sequences")
+	}
+}
+
+func TestBackoffShiftCapNoOverflow(t *testing.T) {
+	b := NewBackoff(time.Hour, 365*24*time.Hour, 1)
+	for k := 0; k < 100; k++ {
+		if d := b.Next(); d <= 0 || d > 365*24*time.Hour {
+			t.Fatalf("attempt %d: delay %v out of range (overflow?)", k, d)
+		}
+	}
+}

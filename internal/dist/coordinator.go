@@ -1,0 +1,414 @@
+package dist
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"fmt"
+	"net/http"
+	"path"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// block is one leaseable unit of work: one PlanShard block of one
+// experiment's canonical unit space, journaled into its own directory
+// under the shared work root.
+type block struct {
+	exp   sim.Experiment
+	shard sim.Shard
+	units int
+	dir   string // slash-separated, relative to the work root
+}
+
+// Options configures a Coordinator.
+type Options struct {
+	// Experiments is the selected registry slice, in run order.
+	Experiments []sim.Experiment
+	// Config is the run's sim.ExpConfig. Workers is the *merge* worker
+	// count (each remote worker brings its own); Seed/Trials/Scale key
+	// every block's journal manifest.
+	Config sim.ExpConfig
+	// Root is the shared work directory: block journals go under
+	// Root/blocks/<exp>/..., and coordinator and workers must see the
+	// same files (same machine or a shared filesystem) — the journals
+	// are both the hand-off medium and the only durable state.
+	Root string
+	// BlockUnits is the target units per lease block (default 16).
+	// Smaller blocks reassign less work on a worker death; larger
+	// blocks amortize lease traffic.
+	BlockUnits int
+	// LeaseTTL is the lease deadline extension per heartbeat (default
+	// 15s). Workers heartbeat at TTL/3.
+	LeaseTTL time.Duration
+	// RetryDelay is the poll interval suggested to workers when all
+	// blocks are leased out (default LeaseTTL/4, floored at 100ms).
+	RetryDelay time.Duration
+	// MaxBlockFails aborts the run when one block accumulates this many
+	// explicit failures (default 3) — a block no worker can run (e.g. a
+	// corrupted journal needing operator attention) must stop the fleet
+	// with a diagnostic rather than bounce forever.
+	MaxBlockFails int
+	// Now is the coordinator clock (default time.Now; tests inject).
+	Now func() time.Time
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.BlockUnits <= 0 {
+		o.BlockUnits = 16
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 15 * time.Second
+	}
+	if o.RetryDelay <= 0 {
+		o.RetryDelay = max(o.LeaseTTL/4, 100*time.Millisecond)
+	}
+	if o.MaxBlockFails <= 0 {
+		o.MaxBlockFails = 3
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Coordinator hands out lease blocks over HTTP, tracks worker liveness
+// via heartbeats, verifies completions against the journals on disk,
+// and merges the journals into canonical Results once the unit space is
+// covered. It is stateless across restarts: New rebuilds everything
+// from the work root's journals.
+type Coordinator struct {
+	opts   Options
+	blocks []block
+	table  *leaseTable
+
+	mu        sync.Mutex
+	abort     string
+	merged    bool
+	doneCh    chan struct{}
+	closeOnce sync.Once
+}
+
+// New enumerates the lease blocks of the selected experiments and
+// recovers completed blocks from any journals already under the work
+// root, so a restarted coordinator resumes where its predecessor died.
+// A journal that exists but fails validation is a startup error — it
+// needs operator attention, not silent adoption.
+func New(opts Options) (*Coordinator, error) {
+	opts = opts.withDefaults()
+	if len(opts.Experiments) == 0 {
+		return nil, fmt.Errorf("dist: no experiments selected")
+	}
+	if opts.Root == "" {
+		return nil, fmt.Errorf("dist: empty work root")
+	}
+	c := &Coordinator{opts: opts, doneCh: make(chan struct{})}
+	for _, e := range opts.Experiments {
+		n, err := e.UnitCount(opts.Config)
+		if err != nil {
+			return nil, err
+		}
+		m := (n + opts.BlockUnits - 1) / opts.BlockUnits
+		if m < 1 {
+			m = 1
+		}
+		for i := 0; i < m; i++ {
+			lo, hi := i*n/m, (i+1)*n/m
+			c.blocks = append(c.blocks, block{
+				exp:   e,
+				shard: sim.Shard{Index: i, Count: m},
+				units: hi - lo,
+				dir:   path.Join("blocks", e.Name, fmt.Sprintf("b%04d-of-%04d", i, m)),
+			})
+		}
+	}
+	c.table = newLeaseTable(len(c.blocks), opts.LeaseTTL, opts.Now)
+	// Each incarnation issues lease ids under a fresh random epoch, so a
+	// worker that outlives a coordinator restart cannot have its stale id
+	// collide with one the new incarnation hands out (the sequence
+	// counter alone restarts at 1).
+	var nonce [6]byte
+	if _, err := cryptorand.Read(nonce[:]); err != nil {
+		return nil, fmt.Errorf("dist: lease epoch nonce: %w", err)
+	}
+	c.table.epoch = fmt.Sprintf("%x-", nonce)
+	recovered := 0
+	for b, blk := range c.blocks {
+		done, total, err := sim.ShardCoverage(blk.exp, opts.Config, c.absDir(blk), blk.shard)
+		if err != nil {
+			return nil, fmt.Errorf("dist: recovery scan of %s: %w", blk.dir, err)
+		}
+		if done == total {
+			c.table.markRecovered(b)
+			recovered++
+		}
+	}
+	if recovered > 0 {
+		opts.Logf("dist: recovered %d of %d completed blocks from %s", recovered, len(c.blocks), opts.Root)
+	}
+	if c.table.remaining() == 0 {
+		c.signalDone()
+	}
+	return c, nil
+}
+
+// absDir resolves a block's journal directory under the work root.
+func (c *Coordinator) absDir(b block) string {
+	return filepath.Join(c.opts.Root, filepath.FromSlash(b.dir))
+}
+
+// Blocks returns the total number of lease blocks.
+func (c *Coordinator) Blocks() int { return len(c.blocks) }
+
+// Done is closed when every block is done — or the run aborted; check
+// Err() after Done fires.
+func (c *Coordinator) Done() <-chan struct{} { return c.doneCh }
+
+// Err returns the abort diagnostic, or nil while the run is healthy.
+func (c *Coordinator) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.abort == "" {
+		return nil
+	}
+	return fmt.Errorf("dist: run aborted: %s", c.abort)
+}
+
+func (c *Coordinator) signalDone() {
+	c.closeOnce.Do(func() { close(c.doneCh) })
+}
+
+func (c *Coordinator) setAbort(msg string) {
+	c.mu.Lock()
+	if c.abort == "" {
+		c.abort = msg
+	}
+	c.mu.Unlock()
+	c.opts.Logf("dist: aborting run: %s", msg)
+	c.signalDone()
+}
+
+func (c *Coordinator) abortMsg() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.abort
+}
+
+// Handler returns the coordinator's HTTP API.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/lease", c.handleLease)
+	mux.HandleFunc("POST /v1/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /v1/complete", c.handleComplete)
+	mux.HandleFunc("POST /v1/fail", c.handleFail)
+	mux.HandleFunc("GET /v1/status", c.handleStatus)
+	return mux
+}
+
+// checkVersion rejects protocol mismatches with 400 (permanent — the
+// worker must not retry).
+func checkVersion(w http.ResponseWriter, version int) bool {
+	if version != ProtocolVersion {
+		writeError(w, http.StatusBadRequest, "protocol version %d, coordinator speaks %d", version, ProtocolVersion)
+		return false
+	}
+	return true
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad lease request: %v", err)
+		return
+	}
+	if !checkVersion(w, req.Version) {
+		return
+	}
+	if msg := c.abortMsg(); msg != "" {
+		writeJSON(w, http.StatusOK, LeaseResponse{Abort: msg})
+		return
+	}
+	if c.table.remaining() == 0 {
+		writeJSON(w, http.StatusOK, LeaseResponse{Done: true})
+		return
+	}
+	b, id, expired, ok := c.table.acquire(req.Worker)
+	for _, l := range expired {
+		c.opts.Logf("dist: lease %s (worker %s) on %s expired; block reassigned", l.id, l.worker, c.blocks[l.block].dir)
+	}
+	if !ok {
+		writeJSON(w, http.StatusOK, LeaseResponse{RetryMS: int(c.opts.RetryDelay / time.Millisecond)})
+		return
+	}
+	blk := c.blocks[b]
+	cfg := c.opts.Config
+	c.opts.Logf("dist: lease %s: %s block %d/%d (%d units) -> worker %s", id, blk.exp.Name, blk.shard.Index, blk.shard.Count, blk.units, req.Worker)
+	writeJSON(w, http.StatusOK, LeaseResponse{
+		LeaseID: id,
+		TTLMS:   int(c.opts.LeaseTTL / time.Millisecond),
+		Assignment: &Assignment{
+			Exp:    blk.exp.Name,
+			Seed:   cfg.Seed,
+			Trials: cfg.Trials,
+			Scale:  cfg.Scale,
+			Block:  blk.shard.Index,
+			Blocks: blk.shard.Count,
+			Units:  blk.units,
+			Dir:    blk.dir,
+		},
+	})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad heartbeat request: %v", err)
+		return
+	}
+	if !checkVersion(w, req.Version) {
+		return
+	}
+	if msg := c.abortMsg(); msg != "" {
+		writeError(w, http.StatusConflict, "%v: run aborted: %s", ErrLeaseLost, msg)
+		return
+	}
+	if err := c.table.heartbeat(req.LeaseID); err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, HeartbeatResponse{TTLMS: int(c.opts.LeaseTTL / time.Millisecond)})
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad complete request: %v", err)
+		return
+	}
+	if !checkVersion(w, req.Version) {
+		return
+	}
+	if c.table.completedBy(req.LeaseID) {
+		writeJSON(w, http.StatusOK, struct{}{}) // retried completion; already credited
+		return
+	}
+	b, err := c.table.holder(req.LeaseID)
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	blk := c.blocks[b]
+	// Trust the journal, not the request: the block is done only if its
+	// on-disk journal validates and covers every unit of the block.
+	done, total, cerr := sim.ShardCoverage(blk.exp, c.opts.Config, c.absDir(blk), blk.shard)
+	if cerr != nil {
+		c.failBlock(req.LeaseID, req.Worker, cerr.Error())
+		writeError(w, http.StatusConflict, "completion rejected: %v", cerr)
+		return
+	}
+	if done != total {
+		reason := fmt.Sprintf("journal covers %d of %d units of %s", done, total, blk.dir)
+		c.failBlock(req.LeaseID, req.Worker, reason)
+		writeError(w, http.StatusConflict, "completion rejected: %s", reason)
+		return
+	}
+	c.table.finish(b, req.LeaseID)
+	c.opts.Logf("dist: lease %s: %s block %d/%d complete (worker %s)", req.LeaseID, blk.exp.Name, blk.shard.Index, blk.shard.Count, req.Worker)
+	if c.table.remaining() == 0 {
+		c.signalDone()
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (c *Coordinator) handleFail(w http.ResponseWriter, r *http.Request) {
+	var req FailRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad fail request: %v", err)
+		return
+	}
+	if !checkVersion(w, req.Version) {
+		return
+	}
+	c.failBlock(req.LeaseID, req.Worker, req.Reason)
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+// failBlock releases the lease's block for reassignment and aborts the
+// run once a block exhausts its failure budget. A lease that is already
+// gone (expired, superseded, completed) is a no-op: the block's fate is
+// someone else's now.
+func (c *Coordinator) failBlock(leaseID, worker, reason string) {
+	b, fails, err := c.table.release(leaseID)
+	if err != nil {
+		return
+	}
+	blk := c.blocks[b]
+	c.opts.Logf("dist: lease %s: worker %s failed %s (%d/%d): %s", leaseID, worker, blk.dir, fails, c.opts.MaxBlockFails, reason)
+	if fails >= c.opts.MaxBlockFails {
+		c.setAbort(fmt.Sprintf("block %s failed %d times, last: %s", blk.dir, fails, reason))
+	}
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	pending, leased, done := c.table.counts()
+	c.mu.Lock()
+	merged, abort := c.merged, c.abort
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, Status{
+		Version: ProtocolVersion,
+		Blocks:  len(c.blocks),
+		Pending: pending,
+		Leased:  leased,
+		Done:    done,
+		Merged:  merged,
+		Abort:   abort,
+	})
+}
+
+// Wait blocks until the unit space is covered (nil), the run aborts
+// (the abort diagnostic), or ctx is cancelled (ctx.Err()).
+func (c *Coordinator) Wait(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-c.doneCh:
+		return c.Err()
+	}
+}
+
+// Merge stitches every experiment's block journals into its canonical
+// Result, in the coordinator's experiment order — byte-identical to an
+// unsharded single-process run. Call it after Wait returns nil; workers
+// polling for leases keep receiving Done responses while the merge
+// runs.
+func (c *Coordinator) Merge(ctx context.Context, opts sim.RunOptions) ([]*sim.Result, error) {
+	if c.table.remaining() != 0 {
+		return nil, fmt.Errorf("dist: merge before coverage: %d blocks outstanding", c.table.remaining())
+	}
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	dirs := make(map[string][]string)
+	for _, blk := range c.blocks {
+		dirs[blk.exp.Name] = append(dirs[blk.exp.Name], c.absDir(blk))
+	}
+	var results []*sim.Result
+	for _, e := range c.opts.Experiments {
+		res, err := sim.MergeShards(ctx, e, c.opts.Config, dirs[e.Name], opts)
+		if err != nil {
+			return nil, fmt.Errorf("dist: merge %s: %w", e.Name, err)
+		}
+		results = append(results, res)
+	}
+	c.mu.Lock()
+	c.merged = true
+	c.mu.Unlock()
+	return results, nil
+}

@@ -1,0 +1,577 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// coordSlot is an in-memory transport: worker requests are served
+// straight through the coordinator's http.Handler, no TCP. The handler
+// is swappable, which is how the suite simulates coordinator crashes
+// (nil handler = connection refused) and restarts (swap in the new
+// incarnation's handler) deterministically.
+type coordSlot struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (s *coordSlot) set(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+func (s *coordSlot) RoundTrip(req *http.Request) (*http.Response, error) {
+	s.mu.Lock()
+	h := s.h
+	s.mu.Unlock()
+	if h == nil {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, errors.New("dist test: coordinator down (simulated connection refused)")
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	resp := rec.Result()
+	resp.Request = req
+	return resp, nil
+}
+
+// post drives the coordinator API directly (the suite's "zombie worker"
+// hand), returning the HTTP status.
+func post(t *testing.T, h http.Handler, path string, in, out any) int {
+	t.Helper()
+	body, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if out != nil && rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("POST %s: bad response body: %v", path, err)
+		}
+	}
+	return rec.Code
+}
+
+func lookupExp(t *testing.T, name string) sim.Experiment {
+	t.Helper()
+	e, ok := sim.Lookup(name)
+	if !ok {
+		t.Fatalf("experiment %q not in registry", name)
+	}
+	return e
+}
+
+// resBytes serializes a Result the way the CLIs do — the JSON document
+// plus the text table — so byte-identity assertions cover both outputs.
+func resBytes(t *testing.T, res *sim.Result) string {
+	t.Helper()
+	var j, tb bytes.Buffer
+	if err := res.WriteJSON(&j); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Table.WriteText(&tb); err != nil {
+		t.Fatal(err)
+	}
+	return j.String() + "\n--\n" + tb.String()
+}
+
+// directResults runs the experiments single-process — the reference
+// every distributed run must match byte-for-byte.
+func directResults(t *testing.T, exps []sim.Experiment, cfg sim.ExpConfig) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	for _, e := range exps {
+		res, err := e.Run(context.Background(), cfg, sim.RunOptions{})
+		if err != nil {
+			t.Fatalf("direct %s: %v", e.Name, err)
+		}
+		out[e.Name] = resBytes(t, res)
+	}
+	return out
+}
+
+func requireMatch(t *testing.T, want map[string]string, got []*sim.Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("merged %d results, want %d", len(got), len(want))
+	}
+	for _, res := range got {
+		if g := resBytes(t, res); g != want[res.Name] {
+			t.Errorf("%s: distributed output differs from direct run\n got: %.200q\nwant: %.200q", res.Name, g, want[res.Name])
+		}
+	}
+}
+
+// startWorker runs a worker in a goroutine, reporting its Run error.
+func startWorker(ctx context.Context, opts WorkerOptions) chan error {
+	ch := make(chan error, 1)
+	go func() { ch <- NewWorker(opts).Run(ctx) }()
+	return ch
+}
+
+func workerOpts(slot http.RoundTripper, root, id string, seed uint64) WorkerOptions {
+	return WorkerOptions{
+		Coordinator: "http://coordinator",
+		Root:        root,
+		ID:          id,
+		Client:      &http.Client{Transport: slot},
+		SimWorkers:  1,
+		BackoffBase: 2 * time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+		Patience:    30 * time.Second,
+		Seed:        seed,
+	}
+}
+
+// checkGoroutines waits for the goroutine count to return to baseline —
+// a lingering heartbeat loop or worker would hold it up.
+func checkGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<18)
+	n := runtime.Stack(buf, true)
+	t.Errorf("goroutine leak: %d running, baseline %d\n%s", runtime.NumGoroutine(), base, buf[:n])
+}
+
+var testExpNames = []string{"eq3", "cor2", "phases"} // phases exercises Measurement.Extra
+
+func testCfg() sim.ExpConfig {
+	return sim.ExpConfig{Seed: 11, Trials: 2, Scale: 1, Workers: 1}
+}
+
+// TestDistributedRunMatchesDirect is the tentpole's basic contract: a
+// coordinator plus two workers over the in-memory transport produce
+// merged Results byte-identical to a plain single-process run, and the
+// fleet winds down cleanly (workers exit on Done, no goroutines leak).
+func TestDistributedRunMatchesDirect(t *testing.T) {
+	base := runtime.NumGoroutine()
+	cfg := testCfg()
+	var exps []sim.Experiment
+	for _, n := range testExpNames {
+		exps = append(exps, lookupExp(t, n))
+	}
+	want := directResults(t, exps, cfg)
+
+	root := t.TempDir()
+	c, err := New(Options{
+		Experiments: exps,
+		Config:      cfg,
+		Root:        root,
+		BlockUnits:  4,
+		LeaseTTL:    10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot := &coordSlot{}
+	slot.set(c.Handler())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	w1 := startWorker(ctx, workerOpts(slot, root, "w1", 101))
+	w2 := startWorker(ctx, workerOpts(slot, root, "w2", 102))
+
+	if err := c.Wait(ctx); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	results, err := c.Merge(ctx, sim.RunOptions{})
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	requireMatch(t, want, results)
+
+	// Workers exit nil once the coordinator reports the space covered.
+	for i, ch := range []chan error{w1, w2} {
+		if err := <-ch; err != nil {
+			t.Errorf("worker %d: %v", i+1, err)
+		}
+	}
+
+	var st Status
+	req := httptest.NewRequest(http.MethodGet, "/v1/status", nil)
+	rec := httptest.NewRecorder()
+	c.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status: HTTP %d", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Blocks != c.Blocks() || st.Done != st.Blocks || !st.Merged || st.Abort != "" {
+		t.Errorf("status = %+v, want all %d blocks done and merged", st, c.Blocks())
+	}
+	checkGoroutines(t, base)
+}
+
+// TestLeaseExpiryReassignsBlock pins the liveness half of the protocol
+// on the coordinator's (injected) clock: a worker that takes a lease
+// and goes silent loses it after the TTL, the block is reassigned to a
+// live worker, and the zombie's later heartbeat and completion are
+// rejected with 409 — while the merged output still matches the direct
+// run, because the journal absorbs any duplicate work.
+func TestLeaseExpiryReassignsBlock(t *testing.T) {
+	cfg := testCfg()
+	exps := []sim.Experiment{lookupExp(t, "eq3")}
+	want := directResults(t, exps, cfg)
+
+	clk := newFakeClock()
+	root := t.TempDir()
+	c, err := New(Options{
+		Experiments: exps,
+		Config:      cfg,
+		Root:        root,
+		BlockUnits:  1 << 20, // one block: the zombie holds everything
+		LeaseTTL:    15 * time.Second,
+		Now:         clk.now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := c.Handler()
+
+	// The zombie takes the only block and never heartbeats.
+	var zl LeaseResponse
+	if code := post(t, h, "/v1/lease", LeaseRequest{Version: ProtocolVersion, Worker: "zombie"}, &zl); code != http.StatusOK || zl.Assignment == nil {
+		t.Fatalf("zombie lease: HTTP %d, %+v", code, zl)
+	}
+
+	// A live worker gets nothing while the lease is fresh...
+	var lr LeaseResponse
+	post(t, h, "/v1/lease", LeaseRequest{Version: ProtocolVersion, Worker: "live"}, &lr)
+	if lr.Assignment != nil || lr.Done {
+		t.Fatalf("lease while block held = %+v, want retry", lr)
+	}
+
+	// ...and the block back once the zombie's deadline passes.
+	clk.advance(16 * time.Second)
+	slot := &coordSlot{}
+	slot.set(h)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	w := startWorker(ctx, workerOpts(slot, root, "live", 7))
+	if err := c.Wait(ctx); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if err := <-w; err != nil {
+		t.Errorf("live worker: %v", err)
+	}
+
+	// The zombie wakes up: its lease is gone for good.
+	if code := post(t, h, "/v1/heartbeat", HeartbeatRequest{Version: ProtocolVersion, Worker: "zombie", LeaseID: zl.LeaseID}, nil); code != http.StatusConflict {
+		t.Errorf("zombie heartbeat: HTTP %d, want 409", code)
+	}
+	if code := post(t, h, "/v1/complete", CompleteRequest{Version: ProtocolVersion, Worker: "zombie", LeaseID: zl.LeaseID}, nil); code != http.StatusConflict {
+		t.Errorf("zombie complete: HTTP %d, want 409", code)
+	}
+
+	results, err := c.Merge(ctx, sim.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireMatch(t, want, results)
+}
+
+// TestCoordinatorRestartRecovers kills the coordinator mid-run and
+// rebuilds it from the work root: completed blocks are recovered from
+// their journals, partially-journaled blocks re-lease and resume, and
+// the final merge is byte-identical to the direct run. A third
+// incarnation over the finished root signals done without any workers.
+func TestCoordinatorRestartRecovers(t *testing.T) {
+	cfg := testCfg()
+	exps := []sim.Experiment{lookupExp(t, "eq3"), lookupExp(t, "cor2")}
+	want := directResults(t, exps, cfg)
+
+	root := t.TempDir()
+	opts := Options{
+		Experiments: exps,
+		Config:      cfg,
+		Root:        root,
+		BlockUnits:  2,
+		LeaseTTL:    10 * time.Second,
+	}
+	c1, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot := &coordSlot{}
+	slot.set(c1.Handler())
+
+	// Worker one dies (context cancel) after a handful of units — after
+	// at least one full block, so the restarted coordinator has
+	// something to recover.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	w1ctx, kill := context.WithCancel(ctx)
+	defer kill()
+	var units atomic.Int64
+	o1 := workerOpts(slot, root, "doomed", 201)
+	o1.OnUnit = func(string, int, int, int) {
+		if units.Add(1) == 5 {
+			kill()
+		}
+	}
+	if err := <-startWorker(w1ctx, o1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("doomed worker exited %v, want context.Canceled", err)
+	}
+	select {
+	case <-c1.Done():
+		t.Fatal("run complete before the kill; raise the unit budget")
+	default:
+	}
+
+	// Coordinator crashes; a new incarnation recovers from the journals.
+	slot.set(nil)
+	c2, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, done := c2.table.counts(); done == 0 {
+		t.Error("restarted coordinator recovered no blocks; expected at least one complete journal")
+	}
+	slot.set(c2.Handler())
+
+	w2 := startWorker(ctx, workerOpts(slot, root, "fresh", 202))
+	if err := c2.Wait(ctx); err != nil {
+		t.Fatalf("Wait after restart: %v", err)
+	}
+	if err := <-w2; err != nil {
+		t.Errorf("fresh worker: %v", err)
+	}
+	results, err := c2.Merge(ctx, sim.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireMatch(t, want, results)
+
+	// A third incarnation over the covered root is born done.
+	c3, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-c3.Done():
+	default:
+		t.Error("coordinator over a fully-covered root did not signal done")
+	}
+	results, err = c3.Merge(ctx, sim.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireMatch(t, want, results)
+}
+
+// TestFaultScheduleProperty is the randomized fault-schedule property
+// test: under seeded schedules combining dropped and blackholed
+// requests, injected delays, a worker killed at a random unit, a
+// coordinator crash-and-restart mid-run, and a late-joining replacement
+// worker, the final Results must be byte-identical to a clean
+// single-process run for three registry experiments. Determinism comes
+// from the seed-derivation contract: duplicate execution of a unit
+// journals identical bytes, so no schedule can corrupt the output —
+// only delay it.
+func TestFaultScheduleProperty(t *testing.T) {
+	cfg := testCfg()
+	var exps []sim.Experiment
+	for _, n := range testExpNames {
+		exps = append(exps, lookupExp(t, n))
+	}
+	want := directResults(t, exps, cfg)
+
+	schedules := []uint64{1, 2, 3}
+	if testing.Short() {
+		schedules = schedules[:1]
+	}
+	for _, seed := range schedules {
+		seed := seed
+		t.Run(fmt.Sprintf("schedule%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(seed)))
+			root := t.TempDir()
+			opts := Options{
+				Experiments:   exps,
+				Config:        cfg,
+				Root:          root,
+				BlockUnits:    3,
+				LeaseTTL:      2 * time.Second,
+				MaxBlockFails: 10, // drain notices are failures; don't abort a healthy run
+			}
+			c1, err := New(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slot := &coordSlot{}
+			slot.set(c1.Handler())
+			faulty := func(fseed uint64) http.RoundTripper {
+				f := NewFaults(fseed, slot)
+				f.Drop = 0.15
+				f.Blackhole = 0.10
+				f.Delay = 0.20
+				f.MaxDelay = 20 * time.Millisecond
+				return f
+			}
+
+			ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+			defer cancel()
+
+			// Worker A dies at a schedule-chosen unit; worker B soldiers
+			// on through the faults and the coordinator restart.
+			killAt := int64(2 + rng.Intn(8))
+			actx, kill := context.WithCancel(ctx)
+			defer kill()
+			var units atomic.Int64
+			oa := workerOpts(faulty(seed*10+1), root, "wA", seed*100+1)
+			oa.OnUnit = func(string, int, int, int) {
+				if units.Add(1) == killAt {
+					kill()
+				}
+			}
+			wa := startWorker(actx, oa)
+			wb := startWorker(ctx, workerOpts(faulty(seed*10+2), root, "wB", seed*100+2))
+
+			if err := <-wa; err != nil && !errors.Is(err, context.Canceled) {
+				t.Fatalf("killed worker exited %v", err)
+			}
+
+			// Coordinator crashes and restarts; worker B's stale lease
+			// must be rejected by the new epoch, never misattributed.
+			slot.set(nil)
+			time.Sleep(time.Duration(rng.Intn(50)) * time.Millisecond)
+			c2, err := New(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slot.set(c2.Handler())
+
+			// A replacement worker joins late.
+			wc := startWorker(ctx, workerOpts(faulty(seed*10+3), root, "wC", seed*100+3))
+
+			if err := c2.Wait(ctx); err != nil {
+				t.Fatalf("Wait: %v", err)
+			}
+			results, err := c2.Merge(ctx, sim.RunOptions{})
+			if err != nil {
+				t.Fatalf("Merge: %v", err)
+			}
+			requireMatch(t, want, results)
+			for name, ch := range map[string]chan error{"wB": wb, "wC": wc} {
+				if err := <-ch; err != nil {
+					t.Errorf("worker %s: %v", name, err)
+				}
+			}
+		})
+	}
+}
+
+// TestAbortAfterBlockFailures pins the failure budget: a block no
+// worker can run (here, a journal corrupted under a running fleet)
+// aborts the run with a diagnostic naming the block, instead of
+// bouncing between workers forever. Workers polling for leases are told
+// to abort too.
+func TestAbortAfterBlockFailures(t *testing.T) {
+	cfg := testCfg()
+	exps := []sim.Experiment{lookupExp(t, "eq3")}
+	root := t.TempDir()
+	c, err := New(Options{
+		Experiments:   exps,
+		Config:        cfg,
+		Root:          root,
+		BlockUnits:    1 << 20,
+		LeaseTTL:      10 * time.Second,
+		MaxBlockFails: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the block's journal after the recovery scan, as if a disk
+	// or operator mangled it under a running fleet.
+	dir := filepath.Join(root, "blocks", "eq3", "b0000-of-0001")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	slot := &coordSlot{}
+	slot.set(c.Handler())
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	werr := <-startWorker(ctx, workerOpts(slot, root, "w", 5))
+	if werr == nil || !strings.Contains(werr.Error(), "abort") {
+		t.Errorf("worker exited %v, want abort diagnostic", werr)
+	}
+	if err := c.Wait(ctx); err == nil || !strings.Contains(err.Error(), "blocks/eq3/b0000-of-0001") {
+		t.Errorf("Wait = %v, want abort naming the block", err)
+	}
+	if _, err := c.Merge(ctx, sim.RunOptions{}); err == nil {
+		t.Error("Merge succeeded on an aborted run")
+	}
+}
+
+// TestNewRejectsCorruptJournal: a journal that exists but fails
+// validation is a startup error needing operator attention, not silent
+// adoption.
+func TestNewRejectsCorruptJournal(t *testing.T) {
+	cfg := testCfg()
+	exps := []sim.Experiment{lookupExp(t, "eq3")}
+	root := t.TempDir()
+	dir := filepath.Join(root, "blocks", "eq3", "b0000-of-0001")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := New(Options{Experiments: exps, Config: cfg, Root: root, BlockUnits: 1 << 20})
+	if err == nil || !strings.Contains(err.Error(), "recovery scan") {
+		t.Fatalf("New over corrupt journal = %v, want recovery-scan error", err)
+	}
+}
+
+// TestFaultsDeterministicSchedule: the same seed yields the same fault
+// decisions, so a failing schedule can be replayed.
+func TestFaultsDeterministicSchedule(t *testing.T) {
+	draw := func(seed uint64) []bool {
+		f := NewFaults(seed, nil)
+		f.Drop = 0.5
+		out := make([]bool, 32)
+		for i := range out {
+			drop, _, _ := f.decide()
+			out[i] = drop
+		}
+		return out
+	}
+	a, b := draw(9), draw(9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package dist
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ErrInjectedDrop is the transport error a Faults round tripper returns
+// for a request it dropped. It looks like any other network failure to
+// the worker's retry logic — that is the point.
+var ErrInjectedDrop = errors.New("dist: injected fault: request dropped")
+
+// Faults is a deterministic fault-injection http.RoundTripper for the
+// robustness suite: it drops requests before they reach the server,
+// blackholes responses after the server processed them (exercising the
+// idempotence of retried completions and heartbeats), and delays
+// requests. Fault decisions are drawn from a seeded generator, so a
+// schedule is reproducible for a given seed; the suite's assertion is
+// stronger anyway — the merged output must be byte-identical to a clean
+// run under every schedule.
+type Faults struct {
+	// Next is the underlying transport (http.DefaultTransport if nil).
+	Next http.RoundTripper
+	// Drop, Blackhole and Delay are per-request probabilities in
+	// [0, 1]. Drop fails the request before it is sent; Blackhole sends
+	// it, discards the response and fails; Delay sleeps up to MaxDelay
+	// before sending.
+	Drop, Blackhole, Delay float64
+	// MaxDelay bounds an injected delay.
+	MaxDelay time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewFaults returns a Faults with the given seed for the fault
+// schedule.
+func NewFaults(seed uint64, next http.RoundTripper) *Faults {
+	return &Faults{Next: next, rng: rand.New(rand.NewSource(int64(seed)))}
+}
+
+// decide draws the request's fate under the lock: fault decisions form
+// one deterministic sequence even when requests race.
+func (f *Faults) decide() (drop, blackhole bool, delay time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	drop = f.rng.Float64() < f.Drop
+	blackhole = f.rng.Float64() < f.Blackhole
+	if f.rng.Float64() < f.Delay && f.MaxDelay > 0 {
+		delay = time.Duration(f.rng.Int63n(int64(f.MaxDelay) + 1))
+	}
+	return drop, blackhole, delay
+}
+
+func (f *Faults) RoundTrip(req *http.Request) (*http.Response, error) {
+	drop, blackhole, delay := f.decide()
+	if delay > 0 {
+		if err := sleepCtx(req.Context(), delay); err != nil {
+			return nil, err
+		}
+	}
+	if drop {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, ErrInjectedDrop
+	}
+	next := f.Next
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	resp, err := next.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if blackhole {
+		// The server processed the request; the response never arrives.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, ErrInjectedDrop
+	}
+	return resp, nil
+}

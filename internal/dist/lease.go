@@ -1,0 +1,215 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// blockState is one block's scheduling state.
+type blockState uint8
+
+const (
+	blockPending blockState = iota // available for lease
+	blockLeased                    // leased out, deadline pending
+	blockDone                      // journal verified to cover the block
+)
+
+// activeLease is one outstanding assignment of a block to a worker.
+// Expiry is measured exclusively on the coordinator's clock: deadline
+// is extended by ttl on every heartbeat, and a lease past its deadline
+// is released the next time any table method runs.
+type activeLease struct {
+	id       string
+	worker   string
+	block    int
+	deadline time.Time
+}
+
+// leaseTable is the coordinator's in-memory lease state over a fixed
+// block list. It holds no durable state — the checkpoint journals are
+// the durability layer — so a restarted coordinator simply rebuilds the
+// table and marks recovered blocks done. All methods are safe for
+// concurrent use; expired leases are collected lazily at the head of
+// every method, so no background sweeper goroutine is needed (and none
+// can leak).
+type leaseTable struct {
+	mu     sync.Mutex
+	now    func() time.Time
+	ttl    time.Duration
+	state  []blockState
+	cur    []*activeLease          // current lease per block, nil unless leased
+	byID   map[string]*activeLease // outstanding leases by id
+	doneBy map[string]int          // lease id -> block, for completed leases (idempotent retries)
+	fails  []int                   // per-block failure count (explicit failures, not expiries)
+	epoch  string                  // lease id prefix, unique per coordinator incarnation
+	seq    int                     // lease id sequence
+	done   int                     // count of done blocks
+}
+
+func newLeaseTable(blocks int, ttl time.Duration, now func() time.Time) *leaseTable {
+	return &leaseTable{
+		now:    now,
+		ttl:    ttl,
+		state:  make([]blockState, blocks),
+		cur:    make([]*activeLease, blocks),
+		byID:   make(map[string]*activeLease),
+		doneBy: make(map[string]int),
+		fails:  make([]int, blocks),
+	}
+}
+
+// markRecovered marks block b done during the coordinator's startup
+// journal scan (no lease involved).
+func (t *leaseTable) markRecovered(b int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state[b] != blockDone {
+		t.state[b] = blockDone
+		t.done++
+	}
+}
+
+// expireLocked releases every overdue lease back to the pending pool.
+// Callers hold t.mu. Expiry is reassignment, not failure: it does not
+// touch the block's failure budget (slowness is normal; the journal
+// makes the duplicate work harmless).
+func (t *leaseTable) expireLocked() []activeLease {
+	var expired []activeLease
+	now := t.now()
+	for id, l := range t.byID {
+		if now.After(l.deadline) {
+			expired = append(expired, *l)
+			t.state[l.block] = blockPending
+			t.cur[l.block] = nil
+			delete(t.byID, id)
+		}
+	}
+	return expired
+}
+
+// acquire leases the lowest-indexed pending block to worker. ok is
+// false when no block is currently available (all leased or done).
+// expired returns any leases collected on the way, for logging.
+func (t *leaseTable) acquire(worker string) (block int, id string, expired []activeLease, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	expired = t.expireLocked()
+	for b, st := range t.state {
+		if st != blockPending {
+			continue
+		}
+		t.seq++
+		// The epoch prefix keeps ids from distinct coordinator
+		// incarnations disjoint: after a restart, a surviving worker's
+		// stale id must be rejected (ErrLeaseLost), never mistaken for a
+		// lease the new incarnation issued on some other block.
+		id = fmt.Sprintf("%sL%d", t.epoch, t.seq)
+		l := &activeLease{id: id, worker: worker, block: b, deadline: t.now().Add(t.ttl)}
+		t.state[b] = blockLeased
+		t.cur[b] = l
+		t.byID[id] = l
+		return b, id, expired, true
+	}
+	return 0, "", expired, false
+}
+
+// heartbeat extends lease id's deadline. ErrLeaseLost means the lease
+// expired, was superseded, or its block is already done — the holder
+// must abandon the block.
+func (t *leaseTable) heartbeat(id string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.expireLocked()
+	l, ok := t.byID[id]
+	if !ok {
+		return ErrLeaseLost
+	}
+	l.deadline = t.now().Add(t.ttl)
+	return nil
+}
+
+// holder returns the block currently held by lease id.
+func (t *leaseTable) holder(id string) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.expireLocked()
+	l, ok := t.byID[id]
+	if !ok {
+		return 0, ErrLeaseLost
+	}
+	return l.block, nil
+}
+
+// completedBy reports whether lease id already completed its block — a
+// retried completion whose earlier response was lost must succeed
+// idempotently.
+func (t *leaseTable) completedBy(id string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.doneBy[id]
+	return ok
+}
+
+// finish marks block b done, crediting lease id. The caller has already
+// verified the block's journal coverage on disk, so the block is done
+// regardless of who currently holds the lease; any other outstanding
+// lease on b is evicted (its holder learns via ErrLeaseLost on its next
+// heartbeat and cancels the redundant work).
+func (t *leaseTable) finish(b int, id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.doneBy[id] = b
+	delete(t.byID, id)
+	if l := t.cur[b]; l != nil {
+		delete(t.byID, l.id)
+		t.cur[b] = nil
+	}
+	if t.state[b] != blockDone {
+		t.state[b] = blockDone
+		t.done++
+	}
+}
+
+// release returns lease id's block to the pending pool after an
+// explicit failure and returns the block's cumulative failure count.
+func (t *leaseTable) release(id string) (block, fails int, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.expireLocked()
+	l, ok := t.byID[id]
+	if !ok {
+		return 0, 0, ErrLeaseLost
+	}
+	b := l.block
+	t.state[b] = blockPending
+	t.cur[b] = nil
+	delete(t.byID, id)
+	t.fails[b]++
+	return b, t.fails[b], nil
+}
+
+// counts returns the pending/leased/done block counts.
+func (t *leaseTable) counts() (pending, leased, done int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.expireLocked()
+	for _, st := range t.state {
+		switch st {
+		case blockPending:
+			pending++
+		case blockLeased:
+			leased++
+		case blockDone:
+			done++
+		}
+	}
+	return pending, leased, done
+}
+
+// remaining returns the number of blocks not yet done.
+func (t *leaseTable) remaining() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.state) - t.done
+}

@@ -1,0 +1,130 @@
+package dist
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced clock for deterministic lease-expiry
+// tests: no sleeping, no flakes.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func newTestTable(n int, ttl time.Duration) (*leaseTable, *fakeClock) {
+	clk := newFakeClock()
+	return newLeaseTable(n, ttl, clk.now), clk
+}
+
+func TestLeaseAcquireAssignsLowestPendingBlock(t *testing.T) {
+	tbl, _ := newTestTable(3, time.Minute)
+	for want := 0; want < 3; want++ {
+		b, id, _, ok := tbl.acquire("w")
+		if !ok || b != want || id == "" {
+			t.Fatalf("acquire #%d = (%d, %q, %v), want block %d", want, b, id, ok, want)
+		}
+	}
+	if _, _, _, ok := tbl.acquire("w"); ok {
+		t.Fatal("acquire succeeded with every block leased")
+	}
+}
+
+func TestLeaseExpiryReleasesBlockForReassignment(t *testing.T) {
+	tbl, clk := newTestTable(1, time.Minute)
+	_, id, _, ok := tbl.acquire("w1")
+	if !ok {
+		t.Fatal("acquire failed")
+	}
+	// Heartbeats extend the deadline: after two 40s advances each
+	// followed by a heartbeat, the lease is still alive.
+	for i := 0; i < 2; i++ {
+		clk.advance(40 * time.Second)
+		if err := tbl.heartbeat(id); err != nil {
+			t.Fatalf("heartbeat after %ds: %v", 40*(i+1), err)
+		}
+	}
+	// Silence past the TTL expires it; the block is reassignable and
+	// the old holder's heartbeat reports the lease lost.
+	clk.advance(61 * time.Second)
+	b2, id2, expired, ok := tbl.acquire("w2")
+	if !ok || b2 != 0 {
+		t.Fatalf("reacquire after expiry = (%d, %v)", b2, ok)
+	}
+	if len(expired) != 1 || expired[0].id != id || expired[0].worker != "w1" {
+		t.Fatalf("expired leases = %+v, want the w1 lease", expired)
+	}
+	if err := tbl.heartbeat(id); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("stale heartbeat = %v, want ErrLeaseLost", err)
+	}
+	if err := tbl.heartbeat(id2); err != nil {
+		t.Fatalf("new holder's heartbeat: %v", err)
+	}
+}
+
+func TestLeaseExpiryIsNotAFailure(t *testing.T) {
+	tbl, clk := newTestTable(1, time.Minute)
+	for i := 0; i < 5; i++ {
+		if _, _, _, ok := tbl.acquire("w"); !ok {
+			t.Fatal("acquire failed")
+		}
+		clk.advance(2 * time.Minute)
+	}
+	if tbl.fails[0] != 0 {
+		t.Fatalf("expiries counted as failures: %d", tbl.fails[0])
+	}
+}
+
+func TestFinishIsIdempotentAndEvictsSupersededLease(t *testing.T) {
+	tbl, clk := newTestTable(1, time.Minute)
+	_, id1, _, _ := tbl.acquire("w1")
+	clk.advance(2 * time.Minute) // w1's lease expires
+	_, id2, _, _ := tbl.acquire("w2")
+	// w1 finished anyway (slow, not dead) and its journal verified:
+	// the block is done, and w2's now-redundant lease is evicted.
+	tbl.finish(0, id1)
+	if !tbl.completedBy(id1) {
+		t.Fatal("completedBy(id1) = false after finish")
+	}
+	if err := tbl.heartbeat(id2); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("superseded holder's heartbeat = %v, want ErrLeaseLost", err)
+	}
+	if rem := tbl.remaining(); rem != 0 {
+		t.Fatalf("remaining = %d after finish", rem)
+	}
+	tbl.finish(0, id2) // double-finish must not double-count
+	if _, _, done := tbl.counts(); done != 1 {
+		t.Fatalf("done = %d after double finish", done)
+	}
+}
+
+func TestReleaseCountsFailuresPerBlock(t *testing.T) {
+	tbl, _ := newTestTable(2, time.Minute)
+	for want := 1; want <= 3; want++ {
+		_, id, _, ok := tbl.acquire("w")
+		if !ok {
+			t.Fatal("acquire failed")
+		}
+		b, fails, err := tbl.release(id)
+		if err != nil || b != 0 || fails != want {
+			t.Fatalf("release #%d = (%d, %d, %v), want block 0 fails %d", want, b, fails, err, want)
+		}
+	}
+	if _, _, err := tbl.release("L999"); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("release of unknown lease = %v, want ErrLeaseLost", err)
+	}
+}
+
+func TestMarkRecoveredSkipsLeasing(t *testing.T) {
+	tbl, _ := newTestTable(2, time.Minute)
+	tbl.markRecovered(0)
+	tbl.markRecovered(0) // idempotent
+	b, _, _, ok := tbl.acquire("w")
+	if !ok || b != 1 {
+		t.Fatalf("acquire after recovery = (%d, %v), want block 1", b, ok)
+	}
+	if pending, leased, done := tbl.counts(); pending != 0 || leased != 1 || done != 1 {
+		t.Fatalf("counts = (%d, %d, %d), want (0, 1, 1)", pending, leased, done)
+	}
+}

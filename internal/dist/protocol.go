@@ -1,0 +1,140 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// ProtocolVersion is the coordinator/worker wire version. Every request
+// carries it; a mismatch is a permanent error (a worker built from a
+// different protocol must not lease blocks it would journal
+// differently).
+const ProtocolVersion = 1
+
+// Assignment describes one leased block: which experiment, which
+// PlanShard block of its unit space, the configuration that derives
+// every seed, and the work-root-relative journal directory. Workers
+// need no flags beyond the coordinator address and the shared work
+// root — the assignment carries the rest, so a fleet cannot drift out
+// of configuration agreement.
+type Assignment struct {
+	// Exp is the registry name of the experiment.
+	Exp string `json:"exp"`
+	// Seed, Trials and Scale are the sim.ExpConfig of the run (Workers
+	// is per-worker and deliberately absent: journals and results are
+	// workers-independent).
+	Seed   uint64 `json:"seed"`
+	Trials int    `json:"trials"`
+	Scale  int    `json:"scale"`
+	// Block and Blocks are the PlanShard coordinates (shard Block of
+	// Blocks over the experiment's unit space).
+	Block  int `json:"block"`
+	Blocks int `json:"blocks"`
+	// Units is the block's unit count (informational, for logs).
+	Units int `json:"units"`
+	// Dir is the slash-separated journal directory of the block,
+	// relative to the shared work root.
+	Dir string `json:"dir"`
+}
+
+// LeaseRequest asks the coordinator for a block to work on.
+type LeaseRequest struct {
+	Version int    `json:"version"`
+	Worker  string `json:"worker"`
+}
+
+// LeaseResponse is the coordinator's answer to a lease request: exactly
+// one of Done, Abort, RetryMS, or an Assignment with its lease.
+type LeaseResponse struct {
+	// Done reports that the whole unit space is covered; the worker
+	// should exit cleanly.
+	Done bool `json:"done,omitempty"`
+	// Abort, when non-empty, reports that the run failed permanently
+	// (a block exhausted its failure budget); the worker should exit
+	// with this error.
+	Abort string `json:"abort,omitempty"`
+	// RetryMS asks the worker to poll again after this many
+	// milliseconds: all remaining blocks are currently leased out.
+	RetryMS int `json:"retry_ms,omitempty"`
+	// LeaseID, TTLMS and Assignment describe the granted lease. The
+	// worker must heartbeat well within TTLMS (TTL/3 is the default
+	// cadence) or the block is reassigned.
+	LeaseID    string      `json:"lease_id,omitempty"`
+	TTLMS      int         `json:"ttl_ms,omitempty"`
+	Assignment *Assignment `json:"assignment,omitempty"`
+}
+
+// HeartbeatRequest renews a lease.
+type HeartbeatRequest struct {
+	Version int    `json:"version"`
+	Worker  string `json:"worker"`
+	LeaseID string `json:"lease_id"`
+}
+
+// HeartbeatResponse acknowledges a renewal.
+type HeartbeatResponse struct {
+	TTLMS int `json:"ttl_ms"`
+}
+
+// CompleteRequest reports a finished block. The coordinator trusts the
+// journal, not the request: it validates the block's on-disk coverage
+// before marking the block done, so a confused worker cannot mark work
+// done that is not.
+type CompleteRequest struct {
+	Version int    `json:"version"`
+	Worker  string `json:"worker"`
+	LeaseID string `json:"lease_id"`
+}
+
+// FailRequest reports that a block's run failed; the block is released
+// for reassignment and its failure budget decremented.
+type FailRequest struct {
+	Version int    `json:"version"`
+	Worker  string `json:"worker"`
+	LeaseID string `json:"lease_id"`
+	Reason  string `json:"reason"`
+}
+
+// Status is the coordinator's observable state (GET /v1/status).
+type Status struct {
+	Version int    `json:"version"`
+	Blocks  int    `json:"blocks"`
+	Pending int    `json:"pending"`
+	Leased  int    `json:"leased"`
+	Done    int    `json:"done"`
+	Merged  bool   `json:"merged"`
+	Abort   string `json:"abort,omitempty"`
+}
+
+// errorBody is the JSON body of every non-200 response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// ErrLeaseLost is returned (as HTTP 409) when a lease is no longer
+// held: it expired and was reassigned, or its block was completed by
+// another worker. The holder must stop working on the block.
+var ErrLeaseLost = errors.New("dist: lease expired or superseded")
+
+// writeJSON writes v as a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes an errorBody response.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// readJSON decodes a request body, rejecting unknown fields so a
+// version drift between coordinator and worker surfaces as a diagnostic
+// rather than silently dropped fields.
+func readJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}

@@ -1,0 +1,323 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// WorkerOptions configures a Worker.
+type WorkerOptions struct {
+	// Coordinator is the coordinator's base URL, e.g.
+	// "http://host:7600".
+	Coordinator string
+	// Root is the shared work directory; assignment journal paths are
+	// relative to it and must resolve to the same files the coordinator
+	// sees.
+	Root string
+	// ID names the worker in leases and logs (default "host:pid").
+	ID string
+	// Client is the HTTP client (default http.DefaultClient); tests
+	// inject fault transports here.
+	Client *http.Client
+	// SimWorkers is the per-block sim worker count (0 = GOMAXPROCS).
+	// Results are workers-independent, so heterogeneous fleets are
+	// fine.
+	SimWorkers int
+	// Heartbeat overrides the heartbeat cadence (default: lease
+	// TTL / 3). The fault suite sets it past the TTL to force expiry.
+	Heartbeat time.Duration
+	// BackoffBase/BackoffMax tune the transient-error retry delays
+	// (defaults 100ms / 5s).
+	BackoffBase, BackoffMax time.Duration
+	// Patience bounds one consecutive run of transient coordinator
+	// errors (default 60s): a worker that cannot reach the coordinator
+	// for this long exits with an error instead of spinning forever
+	// against a coordinator that is gone for good.
+	Patience time.Duration
+	// Seed seeds the worker's jitter stream (default 1; vary per worker
+	// so a fleet's retries decorrelate).
+	Seed uint64
+	// OnUnit, when non-nil, is called after every completed unit of a
+	// block with the experiment name, block index and (done, total)
+	// progress — the fault suite's kill-at-unit hook, and `sweepd work
+	// -v`'s progress line.
+	OnUnit func(exp string, block, done, total int)
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (o WorkerOptions) withDefaults() WorkerOptions {
+	if o.ID == "" {
+		host, _ := os.Hostname()
+		o.ID = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	if o.Patience <= 0 {
+		o.Patience = 60 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Worker leases blocks from a coordinator, runs them with
+// Experiment.RunShard into their journal directories, and reports
+// completion. It retries transient coordinator/network errors with
+// jittered exponential backoff, heartbeats while a block runs, abandons
+// a block promptly when its lease is lost, and drains gracefully when
+// its context is cancelled (in-flight units finish and are journaled).
+type Worker struct {
+	opts WorkerOptions
+}
+
+// NewWorker returns a Worker for the given options.
+func NewWorker(opts WorkerOptions) *Worker {
+	return &Worker{opts: opts.withDefaults()}
+}
+
+// transientError marks an error worth retrying: the coordinator may be
+// restarting or the network flaking.
+type transientError struct{ err error }
+
+func (e transientError) Error() string { return e.err.Error() }
+func (e transientError) Unwrap() error { return e.err }
+
+func isTransient(err error) bool {
+	var te transientError
+	return errors.As(err, &te)
+}
+
+// Run is the worker's main loop: lease, run, report, repeat — until the
+// coordinator reports the unit space covered (nil), the run aborted, or
+// ctx is cancelled (ctx.Err()).
+func (w *Worker) Run(ctx context.Context) error {
+	bo := NewBackoff(w.opts.BackoffBase, w.opts.BackoffMax, w.opts.Seed)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var lr LeaseResponse
+		err := w.postRetry(ctx, "/v1/lease", LeaseRequest{Version: ProtocolVersion, Worker: w.opts.ID}, &lr)
+		if err != nil {
+			return err
+		}
+		switch {
+		case lr.Abort != "":
+			return fmt.Errorf("dist: coordinator aborted the run: %s", lr.Abort)
+		case lr.Done:
+			w.opts.Logf("dist: worker %s: unit space covered; exiting", w.opts.ID)
+			return nil
+		case lr.Assignment == nil:
+			// All blocks leased out; poll again after the suggested
+			// delay plus this worker's jitter.
+			delay := time.Duration(lr.RetryMS) * time.Millisecond
+			if delay <= 0 {
+				delay = 500 * time.Millisecond
+			}
+			if err := sleepCtx(ctx, delay+bo.Next()%delay); err != nil {
+				return err
+			}
+			bo.Reset()
+			continue
+		}
+		if err := w.runBlock(ctx, &lr); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			// Block-level failures were reported to the coordinator
+			// (which reassigns or aborts); this worker keeps serving.
+			w.opts.Logf("dist: worker %s: block failed: %v", w.opts.ID, err)
+		}
+	}
+}
+
+// runBlock executes one leased block under a heartbeat, then reports
+// completion or failure.
+func (w *Worker) runBlock(ctx context.Context, lr *LeaseResponse) error {
+	a := lr.Assignment
+	e, ok := sim.Lookup(a.Exp)
+	if !ok {
+		reason := fmt.Sprintf("unknown experiment %q (worker and coordinator binaries out of sync?)", a.Exp)
+		w.fail(ctx, lr, reason)
+		return errors.New(reason)
+	}
+	cfg := sim.ExpConfig{Seed: a.Seed, Trials: a.Trials, Scale: a.Scale, Workers: w.opts.SimWorkers}
+	dir := filepath.Join(w.opts.Root, filepath.FromSlash(a.Dir))
+	w.opts.Logf("dist: worker %s: lease %s: %s block %d/%d (%d units) -> %s",
+		w.opts.ID, lr.LeaseID, a.Exp, a.Block, a.Blocks, a.Units, dir)
+
+	// The block context is cancelled when the lease is lost, so a
+	// superseded worker stops burning CPU on work someone else owns.
+	// leaseLost records that that is why bctx died — by the time the
+	// outcome switch runs, bctx has been cancelled unconditionally, so
+	// its Err alone cannot distinguish a lost lease from a block error.
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var leaseLost atomic.Bool
+	hbDone := make(chan struct{})
+	go w.heartbeatLoop(bctx, cancel, &leaseLost, lr, hbDone)
+
+	opts := sim.RunOptions{Checkpoint: &sim.Checkpoint{Dir: dir, Resume: true}}
+	if hook := w.opts.OnUnit; hook != nil {
+		exp, blk := a.Exp, a.Block
+		opts.Progress = func(done, total int) { hook(exp, blk, done, total) }
+	}
+	err := e.RunShard(bctx, cfg, sim.Shard{Index: a.Block, Count: a.Blocks}, opts)
+	cancel()
+	<-hbDone
+
+	switch {
+	case err == nil:
+		return w.complete(ctx, lr)
+	case ctx.Err() != nil:
+		// Graceful drain: in-flight units are journaled; best-effort
+		// fail notice so the coordinator reassigns without waiting for
+		// lease expiry. (Reassignment resumes the journal — completed
+		// units are not recomputed.)
+		nctx, ncancel := context.WithTimeout(context.Background(), time.Second)
+		defer ncancel()
+		w.postOnce(nctx, "/v1/fail", FailRequest{Version: ProtocolVersion, Worker: w.opts.ID, LeaseID: lr.LeaseID, Reason: "worker draining"}, nil)
+		return ctx.Err()
+	case leaseLost.Load():
+		// Lease lost mid-block: the block belongs to someone else now.
+		w.opts.Logf("dist: worker %s: lease %s lost; abandoning block", w.opts.ID, lr.LeaseID)
+		return nil
+	default:
+		w.fail(ctx, lr, err.Error())
+		return err
+	}
+}
+
+// heartbeatLoop renews the lease until ctx is cancelled, cancelling the
+// block when the lease is lost. A transient heartbeat failure is left
+// to the next tick: if the coordinator stays unreachable, the lease
+// expires server-side and the next heartbeat or completion learns so.
+func (w *Worker) heartbeatLoop(ctx context.Context, cancel context.CancelFunc, leaseLost *atomic.Bool, lr *LeaseResponse, done chan<- struct{}) {
+	defer close(done)
+	every := w.opts.Heartbeat
+	if every <= 0 {
+		every = time.Duration(lr.TTLMS) * time.Millisecond / 3
+	}
+	if every <= 0 {
+		every = time.Second
+	}
+	tk := time.NewTicker(every)
+	defer tk.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tk.C:
+			err := w.postOnce(ctx, "/v1/heartbeat", HeartbeatRequest{Version: ProtocolVersion, Worker: w.opts.ID, LeaseID: lr.LeaseID}, &HeartbeatResponse{})
+			if errors.Is(err, ErrLeaseLost) {
+				leaseLost.Store(true)
+				cancel()
+				return
+			}
+		}
+	}
+}
+
+// complete reports the finished block, retrying transient errors. A
+// lost lease is benign here: the journal is complete on disk, so either
+// another holder already completed the block or its next holder will
+// resume-and-complete it instantly.
+func (w *Worker) complete(ctx context.Context, lr *LeaseResponse) error {
+	err := w.postRetry(ctx, "/v1/complete", CompleteRequest{Version: ProtocolVersion, Worker: w.opts.ID, LeaseID: lr.LeaseID}, nil)
+	if errors.Is(err, ErrLeaseLost) {
+		w.opts.Logf("dist: worker %s: lease %s superseded at completion; journal stands", w.opts.ID, lr.LeaseID)
+		return nil
+	}
+	return err
+}
+
+// fail reports a failed block (best-effort with retries; if the
+// coordinator is unreachable the lease expires on its own).
+func (w *Worker) fail(ctx context.Context, lr *LeaseResponse, reason string) {
+	w.postRetry(ctx, "/v1/fail", FailRequest{Version: ProtocolVersion, Worker: w.opts.ID, LeaseID: lr.LeaseID, Reason: reason}, nil)
+}
+
+// postRetry posts with jittered exponential backoff on transient
+// errors, bounded by the worker's Patience window.
+func (w *Worker) postRetry(ctx context.Context, path string, in, out any) error {
+	bo := NewBackoff(w.opts.BackoffBase, w.opts.BackoffMax, w.opts.Seed+uint64(len(path)))
+	start := time.Now()
+	for {
+		err := w.postOnce(ctx, path, in, out)
+		if err == nil || !isTransient(err) {
+			return err
+		}
+		if elapsed := time.Since(start); elapsed > w.opts.Patience {
+			return fmt.Errorf("dist: worker %s: coordinator unreachable for %v (%d attempts): %w", w.opts.ID, elapsed.Round(time.Second), bo.Attempts(), err)
+		}
+		if serr := sleepCtx(ctx, bo.Next()); serr != nil {
+			return serr
+		}
+	}
+}
+
+// postOnce performs one POST. Transport failures and 5xx responses are
+// transient; 409 maps to ErrLeaseLost; other non-200s are permanent.
+func (w *Worker) postOnce(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.opts.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.opts.Client.Do(req)
+	if err != nil {
+		return transientError{err}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return transientError{err}
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		if out == nil {
+			return nil
+		}
+		if err := json.Unmarshal(data, out); err != nil {
+			return transientError{fmt.Errorf("dist: %s: bad response body: %w", path, err)}
+		}
+		return nil
+	case resp.StatusCode == http.StatusConflict:
+		return fmt.Errorf("%w: %s", ErrLeaseLost, errMsg(data))
+	case resp.StatusCode >= 500:
+		return transientError{fmt.Errorf("dist: %s: HTTP %d: %s", path, resp.StatusCode, errMsg(data))}
+	default:
+		return fmt.Errorf("dist: %s: HTTP %d: %s", path, resp.StatusCode, errMsg(data))
+	}
+}
+
+// errMsg extracts the error line of a non-200 response body.
+func errMsg(data []byte) string {
+	var eb errorBody
+	if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+		return eb.Error
+	}
+	return strings.TrimSpace(string(data))
+}

@@ -439,6 +439,56 @@ func unitRecordsEqual(a, b UnitRecord) bool {
 	return true
 }
 
+// ShardCoverage reports how many of the units of shard's PlanShard
+// block of e's plan under cfg are journaled in dir (pass Shard{0, 1}
+// for the whole unit space). A directory that does not exist, or holds
+// no manifest yet, is simply empty coverage — not an error — so a
+// coordinator can probe blocks that were never started. A journal that
+// exists but is corrupt, truncated, or belongs to a different run is an
+// error with a diagnostic, exactly as resume validation would report
+// it: coverage must never be counted from records the run could not
+// safely restore. This is the completion check of the distributed
+// coordinator (internal/dist): a lease's block is done if and only if
+// its journal validates and covers the block.
+func ShardCoverage(e Experiment, cfg ExpConfig, dir string, shard Shard) (done, total int, err error) {
+	plan, _, err := e.Plan(cfg)
+	if err != nil {
+		return 0, 0, fmt.Errorf("sim: %s: plan: %w", e.Name, err)
+	}
+	rcfg := plan.Config.withDefaults()
+	lo, hi, err := plan.PlanShard(shard.Index, shard.Count)
+	if err != nil {
+		return 0, 0, err
+	}
+	total = hi - lo
+	data, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, total, nil
+	}
+	if err != nil {
+		return 0, total, fmt.Errorf("sim: coverage: %w", err)
+	}
+	got, err := ReadCheckpointManifest(bytes.NewReader(data))
+	if err != nil {
+		return 0, total, fmt.Errorf("sim: coverage %s: %w", dir, err)
+	}
+	d := cfg.withDefaults()
+	want := plan.manifest(rcfg, &Checkpoint{Name: e.Name, Salt: e.Salt, Scale: d.Scale})
+	if err := got.matches(want); err != nil {
+		return 0, total, fmt.Errorf("sim: coverage: journal %s does not match the current run: %w", dir, err)
+	}
+	recs, err := loadUnits(dir, plan, rcfg)
+	if err != nil {
+		return 0, total, err
+	}
+	for u := range recs {
+		if u >= lo && u < hi {
+			done++
+		}
+	}
+	return done, total, nil
+}
+
 // MergeShards stitches the journals written by point-sharded runs of
 // one experiment (Experiment.RunShard / `sweep -shard i/m@points
 // -checkpoint`) into the canonical unsharded Result. Every directory's

@@ -436,8 +436,8 @@ func validManifestBytes(tb testing.TB) []byte {
 func FuzzReadCheckpointManifest(f *testing.F) {
 	valid := validManifestBytes(f)
 	f.Add(valid)
-	f.Add(valid[:len(valid)/2])                      // truncated
-	f.Add(append(append([]byte{}, valid...), '{'))   // trailing garbage
+	f.Add(valid[:len(valid)/2])                    // truncated
+	f.Add(append(append([]byte{}, valid...), '{')) // trailing garbage
 	f.Add(bytes.Replace(valid, []byte(`"version": 1`), []byte(`"version": 2`), 1))
 	f.Add(bytes.Replace(valid, []byte(`"trials": 2`), []byte(`"trials": 0`), 1))
 	f.Add([]byte("{}"))
@@ -461,4 +461,171 @@ func FuzzReadCheckpointManifest(f *testing.F) {
 			t.Fatalf("re-encoded manifest rejected: %v", err)
 		}
 	})
+}
+
+// Overlapping shard journals are the normal case for the distributed
+// coordinator (a lease expires mid-block and the block is re-run by
+// another worker), so MergeShards must stitch duplicate units cleanly —
+// the seed-derivation contract makes recomputed records identical — and
+// must reject a genuine conflict with a diagnostic naming the unit: a
+// disagreement means the journals came from different code or a
+// corrupted record, and aggregating either silently would poison the
+// tables.
+func TestMergeShardsDuplicateAndConflictingUnits(t *testing.T) {
+	e, ok := Lookup("eq3")
+	if !ok {
+		t.Fatal("eq3 not registered")
+	}
+	cfg := ExpConfig{Seed: 17, Trials: 2}
+	clean, err := e.Run(context.Background(), cfg, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanJSON, cleanTable := resultBytes(t, clean)
+
+	// full covers every unit; firstHalf re-runs the first half of them:
+	// together they overlap on half the unit space.
+	full, firstHalf := t.TempDir(), t.TempDir()
+	if err := e.RunShard(context.Background(), cfg, Shard{Index: 0, Count: 1},
+		RunOptions{Checkpoint: &Checkpoint{Dir: full}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunShard(context.Background(), cfg, Shard{Index: 0, Count: 2},
+		RunOptions{Checkpoint: &Checkpoint{Dir: firstHalf}}); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergeShards(context.Background(), e, cfg, []string{full, firstHalf}, RunOptions{})
+	if err != nil {
+		t.Fatalf("merge with duplicate units: %v", err)
+	}
+	if j, tb := resultBytes(t, merged); j != cleanJSON || tb != cleanTable {
+		t.Errorf("merge with duplicate units differs from clean run:\n--- clean ---\n%s--- merged ---\n%s", cleanTable, tb)
+	}
+
+	// Tamper with one duplicated record: the merge must refuse, naming
+	// the unit it caught.
+	var victim string
+	entries, err := os.ReadDir(firstHalf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		if _, ok := unitFileIndex(ent.Name()); ok {
+			victim = filepath.Join(firstHalf, ent.Name())
+			break
+		}
+	}
+	if victim == "" {
+		t.Fatal("overlap journal holds no unit files")
+	}
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec UnitRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Arms) == 0 {
+		t.Fatalf("unit record %s has no arms to tamper with", victim)
+	}
+	rec.Arms[0].Vertex++
+	tampered, err := json.Marshal(&rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(victim, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = MergeShards(context.Background(), e, cfg, []string{full, firstHalf}, RunOptions{})
+	if err == nil {
+		t.Fatal("merge aggregated conflicting duplicate records")
+	}
+	want := fmt.Sprintf("disagree on unit %d", rec.Unit)
+	if !strings.Contains(err.Error(), want) || !strings.Contains(err.Error(), rec.Point) {
+		t.Errorf("conflict diagnostic %q does not name the unit (%q and point %q)", err, want, rec.Point)
+	}
+}
+
+// ShardCoverage is the distributed coordinator's recovery and
+// completion-verification primitive: it must report a missing journal
+// as zero-of-total (not an error), count partial and complete journals
+// exactly, window the count to the shard, and surface corruption as an
+// error.
+func TestShardCoverage(t *testing.T) {
+	e, ok := Lookup("eq3")
+	if !ok {
+		t.Fatal("eq3 not registered")
+	}
+	cfg := ExpConfig{Seed: 23, Trials: 2, Workers: 1}
+	total, err := e.UnitCount(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total <= 1 {
+		t.Fatalf("eq3 unit space too small for the test: %d", total)
+	}
+
+	// Absent journal: zero done, not an error.
+	done, got, err := ShardCoverage(e, cfg, filepath.Join(t.TempDir(), "never"), Shard{Index: 0, Count: 1})
+	if err != nil || done != 0 || got != total {
+		t.Fatalf("coverage of missing dir = (%d, %d, %v), want (0, %d, nil)", done, got, err, total)
+	}
+
+	// Interrupted journal: counts only what was journaled.
+	partial := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err = e.Run(ctx, cfg, RunOptions{
+		Checkpoint: &Checkpoint{Dir: partial},
+		Progress: func(d, _ int) {
+			if d >= 1 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run returned %v", err)
+	}
+	done, _, err = ShardCoverage(e, cfg, partial, Shard{Index: 0, Count: 1})
+	if err != nil || done == 0 || done == total {
+		t.Fatalf("coverage of interrupted journal = (%d of %d, %v), want strictly partial", done, total, err)
+	}
+
+	// Complete journal: full coverage, and the two halves of a 2-shard
+	// window partition it.
+	e2, cfg2, complete := writeCompleteJournal(t)
+	ctotal, err := e2.UnitCount(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, _, err = ShardCoverage(e2, cfg2, complete, Shard{Index: 0, Count: 1})
+	if err != nil || done != ctotal {
+		t.Fatalf("coverage of complete journal = (%d, %v), want %d", done, err, ctotal)
+	}
+	var sum int
+	for s := 0; s < 2; s++ {
+		d, windowed, err := ShardCoverage(e2, cfg2, complete, Shard{Index: s, Count: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != windowed {
+			t.Errorf("shard %d/2 of complete journal: %d done of %d", s, d, windowed)
+		}
+		sum += d
+	}
+	if sum != ctotal {
+		t.Errorf("2-shard windows sum to %d, want %d", sum, ctotal)
+	}
+
+	// Corruption is an error, not a zero count.
+	damaged := copyJournal(t, complete)
+	path := filepath.Join(damaged, manifestFile)
+	data, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ShardCoverage(e2, cfg2, damaged, Shard{Index: 0, Count: 1}); err == nil {
+		t.Error("coverage of corrupt journal reported no error")
+	}
 }

@@ -66,6 +66,15 @@
 //     run. cmd/sweep surfaces all of this as -shard i/m@points,
 //     -checkpoint, -resume and -merge (cmd/paperrun: -checkpoint,
 //     -resume).
+//   - ShardCoverage reports how many units of one block a journal
+//     holds, validating it first. It is the primitive under the
+//     distributed coordinator (internal/dist, cmd/sweepd), which leases
+//     PlanShard blocks to workers over HTTP, recovers completed blocks
+//     from the journals after a restart, and trusts only on-disk
+//     coverage — never a worker's claim — when marking a block done.
+//     Duplicate execution after a lease expiry is harmless by the
+//     seed-derivation contract: recomputed units journal identical
+//     bytes, and MergeShards verifies overlapping records agree.
 //
 // Because a restored unit is not re-run, arms must return everything
 // they measure through Measurement (the Extra channel carries outputs

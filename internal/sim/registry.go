@@ -87,6 +87,19 @@ func (e Experiment) RunShard(ctx context.Context, cfg ExpConfig, shard Shard, op
 	return plan.RunShard(ctx, shard, e.checkpointOpts(cfg.withDefaults(), opts))
 }
 
+// UnitCount returns the size of the experiment's canonical
+// (point, trial) unit space under cfg — the space PlanShard partitions
+// into blocks and checkpoint journals index into. The distributed
+// coordinator (internal/dist) uses it to enumerate lease blocks without
+// running any walks.
+func (e Experiment) UnitCount(cfg ExpConfig) (int, error) {
+	plan, _, err := e.Plan(cfg)
+	if err != nil {
+		return 0, fmt.Errorf("sim: %s: plan: %w", e.Name, err)
+	}
+	return plan.UnitCount(), nil
+}
+
 // checkpointOpts stamps opts.Checkpoint with the experiment's registry
 // identity (manifest key: name, salt namespace, scale) unless the
 // caller already set one. The caller's Checkpoint is not mutated.

@@ -25,7 +25,10 @@
 //     an interrupted run resumes byte-identically, Experiment.RunShard
 //     splits one experiment's unit space across machines, and
 //     MergeShards stitches the shard journals back into the canonical
-//     result.
+//     result. `go run ./cmd/sweepd` turns the same journals into a
+//     fault-tolerant fleet: a coordinator leases unit blocks to workers
+//     over HTTP, rides out worker deaths and its own restarts, and
+//     merges a result byte-identical to a single-process run.
 //
 // Quick start:
 //
@@ -101,6 +104,11 @@ var (
 	// (Experiment.RunShard) into the canonical unsharded result,
 	// byte-identical to a plain run at the same configuration.
 	MergeShards = sim.MergeShards
+	// ShardCoverage reports how many (point, trial) units of one shard
+	// block are journaled in a directory, validating the journal first —
+	// the recovery scan and completion check of distributed runs
+	// (cmd/sweepd).
+	ShardCoverage = sim.ShardCoverage
 )
 
 // Graph types.
