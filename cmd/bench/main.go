@@ -86,6 +86,26 @@ type FootprintResult struct {
 	PeakAllocByte int64   `json:"peak_alloc_bytes"` // bytes allocated to build + run one cover
 }
 
+// ChurnResult is the dynamic-topology section: the overlay engine's
+// step cost next to the frozen fast path. dyn_step_zero_churn is the
+// pure interface-and-cache overhead (same graph, no mutations);
+// dyn_step_churn adds a failure/repair ChurnSchedule event stream, so
+// its delta over zero-churn is the per-step price of invalidating and
+// rebuilding the live-adjacency cache under real churn; overlay_mutate
+// is one RemoveEdge+RestoreEdge pair in isolation. The frozen-path
+// numbers in Benchmarks must not move when this section is added —
+// static Step never touches the overlay machinery.
+type ChurnResult struct {
+	N               int         `json:"n"`
+	Degree          int         `json:"degree"`
+	ChurnRate       float64     `json:"churn_rate"`
+	DynStepZero     BenchResult `json:"dyn_step_zero_churn"`
+	DynStepChurn    BenchResult `json:"dyn_step_churn"`
+	OverlayMutate   BenchResult `json:"overlay_mutate"`
+	DynOverheadPct  float64     `json:"dyn_overhead_pct"`  // zero-churn dyn step vs static EProcessStep
+	ChurnPenaltyPct float64     `json:"churn_penalty_pct"` // churned step vs zero-churn dyn step
+}
+
 // LargeNResult is the large-n scaling section: the same full-cover
 // benchmark at an n whose hot state overflows mid-level caches, where
 // the compact layout's smaller working set pays the most.
@@ -106,6 +126,7 @@ type Report struct {
 	Cover      CoverResult     `json:"cover"`
 	Sweep      SweepResult     `json:"sweep"`
 	Footprint  FootprintResult `json:"footprint"`
+	Churn      ChurnResult     `json:"churn"`
 	LargeN     LargeNResult    `json:"large_n"`
 }
 
@@ -273,6 +294,57 @@ func measureFootprint(n, d int) FootprintResult {
 	return res
 }
 
+// benchChurn measures the dynamic engine against the static step
+// numbers already in report.Benchmarks (staticStepNs is the measured
+// EProcessStep median).
+func benchChurn(g *graph.Graph, d int, staticStepNs float64) ChurnResult {
+	const rate = 0.01
+	res := ChurnResult{N: g.N(), Degree: d, ChurnRate: rate}
+	res.DynStepZero = run("DynEProcessStepZeroChurn", func(b *testing.B) {
+		o := graph.NewOverlay(g)
+		e := walk.NewEProcessOn(o, rng.NewXoshiro256(3), nil, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Step()
+		}
+	})
+	res.DynStepChurn = run("DynEProcessStepChurn", func(b *testing.B) {
+		o := graph.NewOverlay(g)
+		r := rng.NewRand(rng.NewXoshiro256(5))
+		e := walk.NewEProcessOn(o, r, nil, 0)
+		sched := sim.ChurnSchedule{Fail: rate, Repair: rate}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sched.Step(o, r)
+			e.Step()
+		}
+	})
+	res.OverlayMutate = run("OverlayRemoveRestore", func(b *testing.B) {
+		o := graph.NewOverlay(g)
+		r := rng.NewXoshiro256(7)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id := o.LiveEdgeAt(r.Intn(o.LiveEdges()))
+			if err := o.RemoveEdge(id); err != nil {
+				b.Fatal(err)
+			}
+			if err := o.RestoreEdge(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if staticStepNs > 0 {
+		res.DynOverheadPct = (res.DynStepZero.NsPerOp/staticStepNs - 1) * 100
+	}
+	if res.DynStepZero.NsPerOp > 0 {
+		res.ChurnPenaltyPct = (res.DynStepChurn.NsPerOp/res.DynStepZero.NsPerOp - 1) * 100
+	}
+	return res
+}
+
 func main() {
 	out := flag.String("o", "BENCH_1.json", "output JSON path")
 	n := flag.Int("n", 10000, "vertices for step benchmarks")
@@ -373,6 +445,7 @@ func main() {
 	report.Cover.WallSecondsTotal = coverBench.T.Seconds() / float64(coverBench.N)
 	report.Sweep = benchSweep(*sweepPoints, *sweepN, *d, *trials)
 	report.Footprint = measureFootprint(*coverN, *d)
+	report.Churn = benchChurn(stepGraph, *d, report.Benchmarks[0].NsPerOp)
 
 	// Large-n section: full covers on a graph whose hot state dwarfs
 	// mid-level caches. The footprint probe runs first (it builds and
@@ -423,6 +496,10 @@ func main() {
 	fmt.Printf("  footprint n=%d: sizeof(Half)=%dB, hot state %.0f KiB (%.1f B/half), build+cover %d allocs\n",
 		report.Footprint.N, report.Footprint.HalfBytes, float64(report.Footprint.HeapBytes)/1024,
 		report.Footprint.BytesPerHalf, report.Footprint.PeakAllocObjs)
+	fmt.Printf("  churn n=%d p=%g: dyn step %.2f ns (+%.1f%% vs static), churned %.2f ns (+%.1f%%), mutate %.2f ns\n",
+		report.Churn.N, report.Churn.ChurnRate, report.Churn.DynStepZero.NsPerOp,
+		report.Churn.DynOverheadPct, report.Churn.DynStepChurn.NsPerOp,
+		report.Churn.ChurnPenaltyPct, report.Churn.OverlayMutate.NsPerOp)
 	fmt.Printf("  large-n n=%d: cover %.2f ms/op, hot state %.1f MiB (%.1f B/half)\n",
 		report.LargeN.N, report.LargeN.Cover.NsPerOp/1e6,
 		float64(report.LargeN.Footprint.HeapBytes)/(1<<20), report.LargeN.Footprint.BytesPerHalf)

@@ -50,6 +50,12 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 	if n <= 0 {
 		return nil, ErrNoVertices
 	}
+	if n > MaxSize {
+		return nil, fmt.Errorf("%w: n=%d", ErrTooLarge, n)
+	}
+	if m < 0 || m > MaxEdges {
+		return nil, fmt.Errorf("graph: bad edge count %d", m)
+	}
 	g := New(n)
 	for i := 0; i < m; i++ {
 		if !sc.Scan() {

@@ -1,0 +1,72 @@
+package graph
+
+// Topology is the read surface walk processes consume: a vertex set, an
+// edge-ID space, and per-vertex live adjacency, stamped with an Epoch
+// that advances whenever the live edge set may have changed.
+//
+// Two implementations exist. *Graph implements it directly — a frozen
+// graph is a topology whose Epoch only moves on explicit AddEdge — and
+// the walk package type-switches on *Graph so the static fast path
+// keeps indexing the raw CSR arrays with no interface dispatch at all.
+// *Overlay implements it over a frozen base graph with a mutable delta
+// (added halves + a removed-edge mask) so edges can appear and
+// disappear between steps of a running walk.
+//
+// Edge IDs are stable across mutations: removing an edge retires its
+// ID without renumbering, and added edges extend the ID space at the
+// top. EdgeIDBound is therefore the right size for visited/seen sets —
+// it only grows, so generation-stamped bitsets (bits.Set.Sync) survive
+// epoch bumps without reallocation.
+type Topology interface {
+	// N returns the number of vertices (fixed for a topology's lifetime).
+	N() int
+	// EdgeIDBound returns the exclusive upper bound on live edge IDs.
+	// It is monotonically non-decreasing under mutation.
+	EdgeIDBound() int
+	// Deg returns the live degree of v (loops count 2).
+	Deg(v int) int
+	// AdjHalf returns the i-th live half-edge of v, 0 ≤ i < Deg(v).
+	// Implementations may take O(Deg(v)) to index past removed halves;
+	// hot loops should prefer AppendAdj.
+	AdjHalf(v, i int) Half
+	// AppendAdj appends the live half-edges of v to dst and returns the
+	// extended slice — the bulk read hot loops use.
+	AppendAdj(v int, dst []Half) []Half
+	// Epoch returns a counter that strictly increases every time the
+	// live edge set may have changed. Consumers cache derived state
+	// keyed by the epoch and invalidate on mismatch.
+	Epoch() uint64
+	// Base returns the frozen graph underlying the topology (for a
+	// plain graph, itself). It carries the vertex count and the
+	// structural accessors dynamic consumers do not need per step.
+	Base() *Graph
+}
+
+var _ Topology = (*Graph)(nil)
+
+// EdgeIDBound implements Topology: for a plain graph every edge is
+// live, so the bound is M().
+func (g *Graph) EdgeIDBound() int { return len(g.edges) }
+
+// Deg implements Topology; it is Degree under the interface's name.
+func (g *Graph) Deg(v int) int { return g.Degree(v) }
+
+// AdjHalf implements Topology in O(1) on a frozen spill-free graph.
+func (g *Graph) AdjHalf(v, i int) Half {
+	if g.frozen && g.spill == nil {
+		return g.halves[int(g.off[v])+i]
+	}
+	return g.Adj(v)[i]
+}
+
+// AppendAdj implements Topology.
+func (g *Graph) AppendAdj(v int, dst []Half) []Half {
+	return append(dst, g.Adj(v)...)
+}
+
+// Epoch implements Topology. It starts at 0 and advances once per
+// AddEdge, in either storage state.
+func (g *Graph) Epoch() uint64 { return g.epoch }
+
+// Base implements Topology.
+func (g *Graph) Base() *Graph { return g }

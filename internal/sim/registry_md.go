@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Markers delimiting the generated experiment table in EXPERIMENTS.md.
+// cmd/genexperiments splices RegistryMarkdown between them; everything
+// outside is hand-written prose.
+const (
+	RegistryMarkdownBegin = "<!-- BEGIN GENERATED EXPERIMENT TABLE (go generate ./...) -->"
+	RegistryMarkdownEnd   = "<!-- END GENERATED EXPERIMENT TABLE -->"
+)
+
+// RegistryMarkdown renders the experiment registry as the Markdown
+// table published in EXPERIMENTS.md: one row per experiment in
+// canonical (salt) order, listing the stable name, the seed-salt
+// namespace, and the one-line description. Generated from the live
+// registry so the document can never drift from the code — a test in
+// cmd/genexperiments fails if EXPERIMENTS.md was not regenerated after
+// a registration change.
+func RegistryMarkdown() string {
+	reg := Registry()
+	nameW, descW := len("name"), len("description")
+	for _, e := range reg {
+		nameW = max(nameW, len(e.Name))
+		descW = max(descW, len(e.Desc))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "| %-*s | salt | %-*s |\n", nameW, "name", descW, "description")
+	fmt.Fprintf(&b, "|%s|------|%s|\n", strings.Repeat("-", nameW+2), strings.Repeat("-", descW+2))
+	for _, e := range reg {
+		fmt.Fprintf(&b, "| %-*s | %4d | %-*s |\n", nameW, e.Name, e.Salt, descW, e.Desc)
+	}
+	return b.String()
+}
+
+// SpliceRegistryMarkdown replaces the generated block of doc (the text
+// between the begin/end markers, exclusive) with the current registry
+// table, returning the updated document. It errors when either marker
+// is missing or out of order — regeneration must never silently eat a
+// hand-edited file.
+func SpliceRegistryMarkdown(doc string) (string, error) {
+	begin := strings.Index(doc, RegistryMarkdownBegin)
+	end := strings.Index(doc, RegistryMarkdownEnd)
+	if begin < 0 || end < 0 || end < begin {
+		return "", fmt.Errorf("sim: experiment-table markers missing or reordered (begin at %d, end at %d)", begin, end)
+	}
+	head := doc[:begin+len(RegistryMarkdownBegin)]
+	tail := doc[end:]
+	return head + "\n" + RegistryMarkdown() + tail, nil
+}

@@ -23,7 +23,7 @@ func TestRegistryCanonicalOrderAndLookup(t *testing.T) {
 		"thm1", "radzik", "cor2", "eq3", "thm3", "cor4",
 		"hcube", "star", "rulea", "p1p2", "grw", "compare",
 		"ablation", "growth", "bias", "eq4", "lemma13", "phases",
-		"degseq", "fig1", "scalecover",
+		"degseq", "fig1", "scalecover", "pcfcover", "churncover",
 	}
 	reg := Registry()
 	if len(reg) != len(want) {
@@ -46,7 +46,7 @@ func TestRegistryCanonicalOrderAndLookup(t *testing.T) {
 			t.Errorf("Lookup(%q) = %+v, %v", e.Name, got, ok)
 		}
 	}
-	if names := Names(); len(names) != len(want) || names[0] != "thm1" || names[len(names)-1] != "scalecover" {
+	if names := Names(); len(names) != len(want) || names[0] != "thm1" || names[len(names)-1] != "churncover" {
 		t.Errorf("Names() = %v", names)
 	}
 	if _, ok := Lookup("nope"); ok {

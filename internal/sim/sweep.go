@@ -90,6 +90,8 @@ const (
 	saltDEGSEQ
 	saltFIG1
 	saltSCALECOVER
+	saltPCF
+	saltCHURN
 )
 
 // ArmFunc measures one arm of an experiment point on one trial. g is

@@ -80,6 +80,20 @@ type EProcess struct {
 	halves []graph.Half
 	off    []int32
 
+	// Dynamic-topology mode (NewEProcessOn with a mutable topology):
+	// topo is non-nil, the pending arena is unused, and adjacency reads
+	// go through the Topology interface into a per-vertex live-adjacency
+	// cache. adjFresh is the cache-validity set, generation-stamped with
+	// the topology's epoch: a churn event only bumps the epoch, and the
+	// walk's next Sync lazily invalidates every cached block at once —
+	// no reallocation, no eager clearing per event. The static path
+	// (topo == nil) never touches any of this.
+	topo       graph.Topology
+	dynUniform bool // Uniform rule on the dynamic path (no Rule dispatch)
+	adjCache   [][]graph.Half
+	adjFresh   bits.Set
+	buf        []graph.Half // unvisited-halves scratch for the blue choice
+
 	stats Stats
 	phase Phase
 
@@ -107,14 +121,49 @@ func NewEProcess(g *graph.Graph, r Intner, rule Rule, start int) *EProcess {
 	return e
 }
 
+// NewEProcessOn returns an E-process on an arbitrary topology. A plain
+// *graph.Graph routes to NewEProcess — the devirtualized static fast
+// path, draw-for-draw identical to always — while a mutable topology
+// (e.g. *graph.Overlay) gets the dynamic path: adjacency is read
+// through the interface, cached per vertex, and invalidated lazily via
+// the topology's epoch, so edges may be added, removed and restored
+// between steps. On a vertex whose incident edges have all been
+// removed, Step reports a lazy stay (edge ID −1, position unchanged)
+// until churn reconnects it.
+func NewEProcessOn(t graph.Topology, r Intner, rule Rule, start int) *EProcess {
+	if g, ok := t.(*graph.Graph); ok {
+		return NewEProcess(g, r, rule, start)
+	}
+	if rule == nil {
+		rule = Uniform{}
+	}
+	e := &EProcess{g: t.Base(), topo: t, ri: r, r: interopRand(r), rule: rule}
+	// fastUniform stays false: the fused path reads the static arena.
+	// The dynamic path short-circuits Rule dispatch on its own flag.
+	_, e.dynUniform = rule.(Uniform)
+	e.init(start)
+	return e
+}
+
 func (e *EProcess) init(start int) {
 	e.cur = start
-	// Rebind to the graph's current CSR arrays: a mutation since the
-	// last run thawed and re-froze the graph into new storage.
-	e.halves = e.g.Halves()
-	e.off = e.g.Offsets()
-	e.visited.Reset(e.g.M())
-	e.pend.reset(e.g)
+	if e.topo != nil {
+		e.g = e.topo.Base() // refreshed: a Commit between runs re-bases
+		e.visited.Reset(e.topo.EdgeIDBound())
+		if len(e.adjCache) != e.topo.N() {
+			e.adjCache = make([][]graph.Half, e.topo.N())
+		}
+		// adjCache entries stay valid across Reset: they hold live
+		// adjacency (not visited-filtered), keyed by the topology epoch
+		// through adjFresh's generation stamp in stepDyn.
+	} else {
+		// Rebind to the graph's current CSR arrays: a mutation since the
+		// last run re-froze the graph into new storage.
+		e.halves = e.g.Halves()
+		e.off = e.g.Offsets()
+		e.visited.Reset(e.g.M())
+		e.pend.reset(e.g)
+	}
 	e.stats = Stats{}
 	e.phase = 0
 	e.phaseLens = nil
@@ -144,8 +193,18 @@ func (e *EProcess) Intn(n int) int { return e.ri.Intn(n) }
 func (e *EProcess) EdgeVisited(id int) bool { return e.visited.Test(id) }
 
 // BlueDegree returns the number of unvisited edge-endpoints at v (loops
-// count twice), i.e. the blue degree of Observation 10.
+// count twice), i.e. the blue degree of Observation 10. On a dynamic
+// topology only live unvisited halves count.
 func (e *EProcess) BlueDegree(v int) int {
+	if e.topo != nil {
+		count := 0
+		for _, h := range e.liveAdj(v) {
+			if !e.visited.Test(int(h.ID)) {
+				count++
+			}
+		}
+		return count
+	}
 	e.pend.prune(v, &e.visited)
 	return len(e.pend.pending(v))
 }
@@ -153,10 +212,12 @@ func (e *EProcess) BlueDegree(v int) int {
 // UnvisitedEdgeIDs returns the IDs of all currently unvisited edges, in
 // increasing order. Used by the blue-component analysis. Every blue
 // step visits exactly one edge, so the result has exactly
-// m − BlueSteps entries; the slice is sized up front and filled by the
-// bitset's word-at-a-time scan.
+// Len(visited) − BlueSteps entries (on a static graph, m − BlueSteps);
+// the slice is sized up front and filled by the bitset's word-at-a-time
+// scan. On a dynamic topology the result spans the full edge-ID space,
+// currently-removed (unvisited) edges included.
 func (e *EProcess) UnvisitedEdgeIDs() []int {
-	out := make([]int, 0, int64(e.g.M())-e.stats.BlueSteps)
+	out := make([]int, 0, int64(e.visited.Len())-e.stats.BlueSteps)
 	return e.visited.AppendUnset(out)
 }
 
@@ -212,6 +273,9 @@ func (e *EProcess) Step() (int, int) {
 		}
 		return e.redStep(v)
 	}
+	if e.topo != nil {
+		return e.stepDyn(v)
+	}
 	// Generic path: arbitrary (possibly adversarial) rules. Prune on an
 	// empty block is a zero-iteration loop, so no separate emptiness
 	// guard is needed here either.
@@ -255,6 +319,13 @@ func (e *EProcess) redStep(v int) (int, int) {
 	adj := e.halves[e.off[v]:e.off[v+1]]
 	h := adj[e.ri.Intn(len(adj))]
 	e.cur = int(h.To)
+	e.redMark()
+	return int(h.ID), e.cur
+}
+
+// redMark does the phase bookkeeping of a red transition (or a lazy
+// stay on a churned-isolated vertex, which colours red too).
+func (e *EProcess) redMark() {
 	e.stats.RedSteps++
 	if e.phase != PhaseRed {
 		e.stats.RedPhases++
@@ -264,6 +335,62 @@ func (e *EProcess) redStep(v int) (int, int) {
 			e.curPhaseLen = 0
 		}
 	}
+}
+
+// liveAdj returns v's current live adjacency from the per-vertex cache,
+// rebuilding the entry through the Topology interface when the cache is
+// stale. Staleness is tracked by adjFresh, generation-stamped with the
+// topology's epoch: Sync is O(1) while the epoch is unchanged and one
+// lazy clear when it moved, so a churn event costs the mutator nothing
+// here and the walk only re-reads vertices it actually touches.
+func (e *EProcess) liveAdj(v int) []graph.Half {
+	e.adjFresh.Sync(uint32(e.topo.Epoch()), len(e.adjCache))
+	if !e.adjFresh.Test(v) {
+		e.adjCache[v] = e.topo.AppendAdj(v, e.adjCache[v][:0])
+		e.adjFresh.Set(v)
+	}
+	return e.adjCache[v]
+}
+
+// stepDyn is Step on a mutable topology: same blue-over-red preference,
+// but adjacency comes from liveAdj (epoch-invalidated cache) instead of
+// the frozen arena, the visited set grows with the edge-ID space, and a
+// vertex stripped of every live edge lazily stays put (edge ID −1).
+func (e *EProcess) stepDyn(v int) (int, int) {
+	adj := e.liveAdj(v)
+	if b := e.topo.EdgeIDBound(); b > e.visited.Len() {
+		e.visited.Grow(b)
+	}
+	e.buf = e.buf[:0]
+	for _, h := range adj {
+		if !e.visited.Test(int(h.ID)) {
+			e.buf = append(e.buf, h)
+		}
+	}
+	if len(e.buf) > 0 {
+		var idx int
+		if e.dynUniform {
+			idx = e.ri.Intn(len(e.buf))
+		} else {
+			idx = e.rule.Choose(e, v, e.buf)
+			if idx < 0 || idx >= len(e.buf) {
+				panic(fmt.Sprintf("walk: rule %q chose index %d among %d unvisited edges at vertex %d",
+					e.rule.Name(), idx, len(e.buf), v))
+			}
+		}
+		h := e.buf[idx]
+		e.visited.Set(int(h.ID))
+		return e.blueStep(h)
+	}
+	if len(adj) == 0 {
+		// Churn isolated v: no live incident edges to walk. Count a red
+		// step that goes nowhere so budgets still tick.
+		e.redMark()
+		return -1, v
+	}
+	h := adj[e.ri.Intn(len(adj))]
+	e.cur = int(h.To)
+	e.redMark()
 	return int(h.ID), e.cur
 }
 

@@ -170,6 +170,48 @@ func (sc *CoverScratch) Cover(p Process, maxSteps int64) (CoverTimes, error) {
 	return ct, nil
 }
 
+// CoverOutcome is the result of a censored cover run: the steps taken
+// and how many vertices were still unvisited when the run stopped.
+// Uncovered == 0 means the walk covered within budget; Uncovered > 0
+// means the budget censored the run — on a churned (possibly
+// disconnected) topology that is data, not an error.
+type CoverOutcome struct {
+	Steps     int64
+	Uncovered int
+}
+
+// VertexCoverCensored runs p toward vertex cover for at most maxSteps
+// steps, invoking hook (if non-nil) before every step — the dynamic
+// experiments inject churn there, mutating the topology the process
+// walks. Unlike VertexCoverSteps, exhausting the budget is not an
+// error: churn can disconnect the graph and strand vertices forever, so
+// the driver reports the censored outcome and lets the caller treat
+// Uncovered as a measurement. maxSteps <= 0 falls back to the default
+// budget.
+func (sc *CoverScratch) VertexCoverCensored(p Process, maxSteps int64, hook func()) (CoverOutcome, error) {
+	g := p.Graph()
+	n := g.N()
+	if maxSteps <= 0 {
+		maxSteps = defaultBudget(n)
+	}
+	seen := sc.vertexSeen(n)
+	seen.Set(p.Current())
+	remaining := n - 1
+	var steps int64
+	for remaining > 0 && steps < maxSteps {
+		if hook != nil {
+			hook()
+		}
+		_, v := p.Step()
+		steps++
+		if !seen.Test(v) {
+			seen.Set(v)
+			remaining--
+		}
+	}
+	return CoverOutcome{Steps: steps, Uncovered: remaining}, nil
+}
+
 // HitSteps runs p until it first occupies target, returning the number
 // of steps (0 when the walk already sits on target).
 func HitSteps(p Process, target int, maxSteps int64) (int64, error) {

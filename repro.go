@@ -47,6 +47,9 @@
 //	res.Table.WriteText(os.Stdout)    // or res.WriteJSON(w)
 package repro
 
+// Regenerate the experiment table in EXPERIMENTS.md from the registry.
+//go:generate go run ./cmd/genexperiments
+
 import (
 	"math/rand"
 
