@@ -3,6 +3,7 @@ package repro_test
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"math"
 	"math/rand"
 	"testing"
@@ -338,5 +339,37 @@ func TestPublicAPIDurableRuns(t *testing.T) {
 	}
 	if !bytes.Equal(a.Bytes(), b.Bytes()) {
 		t.Error("merged shard result differs from a plain run through the facade")
+	}
+}
+
+// RunKey is the facade's canonical run identity: equal configurations
+// share a key, Workers never enters it, and any determinism-relevant
+// knob changes it.
+func TestPublicAPIRunKey(t *testing.T) {
+	e, ok := repro.LookupExperiment("eq3")
+	if !ok {
+		t.Fatal("eq3 not visible through the facade")
+	}
+	key := func(cfg repro.ExpConfig) string {
+		t.Helper()
+		k, err := e.RunKey(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k.Encode()
+	}
+	base := repro.ExpConfig{Seed: 7, Trials: 2}
+	if key(base) != key(repro.ExpConfig{Seed: 7, Trials: 2, Workers: 8}) {
+		t.Error("Workers entered the run key; parallelism must not split the cache")
+	}
+	if key(base) == key(repro.ExpConfig{Seed: 8, Trials: 2}) {
+		t.Error("distinct seeds share a run key")
+	}
+	var k repro.RunKey
+	if err := json.Unmarshal([]byte(key(base)), &k); err != nil {
+		t.Fatalf("run key is not a JSON document: %v", err)
+	}
+	if k.Name != "eq3" || k.Seed != 7 || k.Trials != 2 {
+		t.Errorf("decoded run key = %+v, want eq3 seed 7 trials 2", k)
 	}
 }

@@ -10,14 +10,21 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 	"unsafe"
@@ -25,6 +32,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/rng"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/walk"
 )
@@ -106,6 +114,29 @@ type ChurnResult struct {
 	ChurnPenaltyPct float64     `json:"churn_penalty_pct"` // churned step vs zero-churn dyn step
 }
 
+// ServeResult is the reprod-daemon section, measured over a real
+// loopback TCP listener rather than in-process handler calls so the
+// numbers include what a client actually pays. cold_ms is the first
+// request for a key (plans and runs the sweep, encodes the result);
+// hit is the steady-state latency of the identical request answered
+// from the exact result cache — the daemon's whole point is the gap
+// between the two (cold_over_hit_x). The fan-in rows replay the
+// acceptance scenario as a benchmark: fan_in concurrent identical
+// cold requests must collapse onto fan_in_runs = 1 experiment run
+// (counted from the server's own run histogram, not inferred), with
+// the rest joining as single-flight followers (fan_in_shared).
+type ServeResult struct {
+	Exp          string      `json:"exp"`
+	Trials       int         `json:"trials"`
+	ColdMs       float64     `json:"cold_ms"`
+	Hit          BenchResult `json:"hit"`
+	ColdOverHitX float64     `json:"cold_over_hit_x"`
+	FanIn        int         `json:"fan_in"`
+	FanInRuns    int         `json:"fan_in_runs"`
+	FanInShared  int         `json:"fan_in_shared"`
+	FanInWallMs  float64     `json:"fan_in_wall_ms"`
+}
+
 // LargeNResult is the large-n scaling section: the same full-cover
 // benchmark at an n whose hot state overflows mid-level caches, where
 // the compact layout's smaller working set pays the most.
@@ -127,6 +158,7 @@ type Report struct {
 	Sweep      SweepResult     `json:"sweep"`
 	Footprint  FootprintResult `json:"footprint"`
 	Churn      ChurnResult     `json:"churn"`
+	Serve      ServeResult     `json:"serve"`
 	LargeN     LargeNResult    `json:"large_n"`
 }
 
@@ -249,6 +281,104 @@ func benchSweep(points, n, d, trials int) SweepResult {
 		}
 	})
 	res.Speedup = res.BaselineSeconds / res.SweepSeconds
+	return res
+}
+
+// benchServe boots a serve.Server on a loopback TCP listener and
+// measures the request path end to end: one cold compute, the
+// cache-hit steady state (median of benchReps testing.Benchmark
+// runs, every response checked byte-identical to the cold bytes),
+// and an 8-way fan-in of identical cold requests whose run count is
+// read back from the server's own run histogram — the benchmark
+// fails loudly if single-flight ever lets a duplicate sweep through.
+func benchServe(expName string, trials, fanIn int) ServeResult {
+	s := serve.New(serve.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	defer func() {
+		s.Drain()
+		hs.Close()
+	}()
+	base := "http://" + ln.Addr().String()
+
+	get := func(url string) []byte {
+		resp, err := http.Get(url)
+		if err != nil {
+			panic(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			panic(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			panic(fmt.Sprintf("bench serve: %s: %s: %s", url, resp.Status, body))
+		}
+		return body
+	}
+	// Completed runs so far, from the daemon's own latency histogram —
+	// the one counter that only moves when an experiment actually ran
+	// (cache hits and single-flight joins leave it alone).
+	runsTotal := func() int {
+		for _, line := range strings.Split(string(get(base+"/metrics")), "\n") {
+			if v, ok := strings.CutPrefix(line, "reprod_run_seconds_count "); ok {
+				n, err := strconv.Atoi(strings.TrimSpace(v))
+				if err != nil {
+					panic(err)
+				}
+				return n
+			}
+		}
+		panic("bench serve: reprod_run_seconds_count missing from /metrics")
+	}
+
+	res := ServeResult{Exp: expName, Trials: trials, FanIn: fanIn}
+	url := fmt.Sprintf("%s/v1/run?exp=%s&seed=41&trials=%d", base, expName, trials)
+	start := time.Now()
+	cold := get(url)
+	res.ColdMs = float64(time.Since(start).Nanoseconds()) / 1e6
+	res.Hit = run("ServeCacheHit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !bytes.Equal(get(url), cold) {
+				b.Fatal("cache hit differs from cold response")
+			}
+		}
+	})
+	if res.Hit.NsPerOp > 0 {
+		res.ColdOverHitX = res.ColdMs * 1e6 / res.Hit.NsPerOp
+	}
+
+	// Fan-in at a fresh key: every request arrives before the bytes
+	// exist, so all are misses, exactly one may run.
+	fanURL := fmt.Sprintf("%s/v1/run?exp=%s&seed=43&trials=%d", base, expName, trials)
+	runs0 := runsTotal()
+	shared0 := s.Metrics().SharedRuns.Load()
+	bodies := make([][]byte, fanIn)
+	var wg sync.WaitGroup
+	start = time.Now()
+	for i := 0; i < fanIn; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			bodies[i] = get(fanURL)
+		}(i)
+	}
+	wg.Wait()
+	res.FanInWallMs = float64(time.Since(start).Nanoseconds()) / 1e6
+	res.FanInRuns = runsTotal() - runs0
+	res.FanInShared = int(s.Metrics().SharedRuns.Load() - shared0)
+	for i := 1; i < fanIn; i++ {
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			panic("bench serve: fan-in responses diverge")
+		}
+	}
+	if res.FanInRuns != 1 {
+		panic(fmt.Sprintf("bench serve: %d-way fan-in ran the experiment %d times, want 1", fanIn, res.FanInRuns))
+	}
 	return res
 }
 
@@ -446,6 +576,7 @@ func main() {
 	report.Sweep = benchSweep(*sweepPoints, *sweepN, *d, *trials)
 	report.Footprint = measureFootprint(*coverN, *d)
 	report.Churn = benchChurn(stepGraph, *d, report.Benchmarks[0].NsPerOp)
+	report.Serve = benchServe("eq3", 2, 8)
 
 	// Large-n section: full covers on a graph whose hot state dwarfs
 	// mid-level caches. The footprint probe runs first (it builds and
@@ -500,6 +631,10 @@ func main() {
 		report.Churn.N, report.Churn.ChurnRate, report.Churn.DynStepZero.NsPerOp,
 		report.Churn.DynOverheadPct, report.Churn.DynStepChurn.NsPerOp,
 		report.Churn.ChurnPenaltyPct, report.Churn.OverlayMutate.NsPerOp)
+	fmt.Printf("  serve %s trials=%d: cold %.2f ms, cache hit %.1f µs (%.0fx), %d-way fan-in %d run %d joins in %.2f ms\n",
+		report.Serve.Exp, report.Serve.Trials, report.Serve.ColdMs,
+		report.Serve.Hit.NsPerOp/1e3, report.Serve.ColdOverHitX,
+		report.Serve.FanIn, report.Serve.FanInRuns, report.Serve.FanInShared, report.Serve.FanInWallMs)
 	fmt.Printf("  large-n n=%d: cover %.2f ms/op, hot state %.1f MiB (%.1f B/half)\n",
 		report.LargeN.N, report.LargeN.Cover.NsPerOp/1e6,
 		float64(report.LargeN.Footprint.HeapBytes)/(1<<20), report.LargeN.Footprint.BytesPerHalf)

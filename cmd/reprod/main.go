@@ -1,0 +1,125 @@
+// Command reprod is the resident experiment-serving daemon: it
+// promotes the library from batch CLIs to a long-running HTTP/JSON
+// service that answers experiment requests from an exact result cache.
+// A cached response is byte-identical to a recomputed one — results
+// are pure functions of the request's (experiment, seed, trials,
+// scale, RNG kind, step budget), the cache is keyed by exactly that
+// identity (sim.RunKey, the checkpoint manifest key), and N concurrent
+// identical requests cost one sweep (single-flight).
+//
+//	reprod -addr :7700
+//	curl 'http://localhost:7700/v1/run?exp=eq3&seed=2012&trials=3'
+//	curl http://localhost:7700/v1/experiments
+//	curl http://localhost:7700/metrics
+//
+// Admission control: a per-client token bucket (-rate/-burst, 429 over
+// budget), an inflight-run limiter (-inflight, 503 when saturated), a
+// per-run wall-clock cap (-run-timeout, 504), and a connection limit
+// (-max-conns). A disconnected client's run is cancelled through the
+// context and its sweep workers drain leak-free.
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: it stops accepting,
+// flips /healthz to 503, cancels inflight runs via their contexts, and
+// exits 0 once the handlers return.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "reprod:", err)
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("reprod", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:7700", "listen address")
+		cacheSize  = fs.Int("cache", 256, "result cache capacity (entries)")
+		rate       = fs.Float64("rate", 10, "per-client sustained requests/second on /v1/run (0 = unlimited)")
+		burst      = fs.Int("burst", 20, "per-client burst allowance")
+		inflight   = fs.Int("inflight", 0, "max concurrent experiment runs (0 = GOMAXPROCS)")
+		runTimeout = fs.Duration("run-timeout", 5*time.Minute, "wall-clock cap per run (0 = none)")
+		workers    = fs.Int("workers", 0, "sweep workers per run (0 = GOMAXPROCS; never part of the cache identity)")
+		maxTrials  = fs.Int("max-trials", 100, "largest accepted trials value")
+		maxScale   = fs.Int("max-scale", 100, "largest accepted scale value")
+		maxConns   = fs.Int("max-conns", 1024, "max simultaneous client connections")
+		drainWait  = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline before forcing exit")
+		verbose    = fs.Bool("v", false, "log every request on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = log.Printf
+	}
+	s := serve.New(serve.Options{
+		CacheEntries:    *cacheSize,
+		RatePerSec:      *rate,
+		RateBurst:       *burst,
+		MaxInflightRuns: *inflight,
+		RunTimeout:      *runTimeout,
+		RunWorkers:      *workers,
+		MaxTrials:       *maxTrials,
+		MaxScale:        *maxScale,
+		Logf:            logf,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if *maxConns > 0 {
+		ln = serve.LimitListener(ln, *maxConns)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	log.Printf("reprod: serving on %s (cache %d entries, %g req/s per client, %s run timeout)",
+		ln.Addr(), *cacheSize, *rate, *runTimeout)
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop routing (healthz 503), cancel inflight runs
+	// through their contexts — the sweeps drain leak-free per the
+	// cancellation contract — and let Shutdown reap the handlers.
+	log.Printf("reprod: draining on signal")
+	s.Drain()
+	sctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("reprod: drained cleanly")
+	return nil
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// freeAddr reserves an ephemeral port and releases it for the daemon.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-addr", "999.999.999.999:1"}); err == nil {
+		t.Error("unlistenable address accepted")
+	}
+}
+
+// TestLifecycle boots the daemon, serves a cold request and a byte-
+// identical cache hit through it, then delivers SIGTERM and checks the
+// drain completes cleanly (run returns nil).
+func TestLifecycle(t *testing.T) {
+	addr := freeAddr(t)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", addr, "-drain-timeout", "30s"})
+	}()
+
+	base := "http://" + addr
+	var resp *http.Response
+	var err error
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err = http.Get(base + "/healthz")
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("daemon never came up on %s: %v", addr, err)
+	}
+	resp.Body.Close()
+
+	fetch := func() (string, []byte) {
+		resp, err := http.Get(base + "/v1/run?exp=eq3&seed=7&trials=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("run: status %d: %s", resp.StatusCode, body)
+		}
+		return resp.Header.Get("X-Reprod-Cache"), body
+	}
+	source, cold := fetch()
+	if source != "miss" {
+		t.Errorf("first request cache=%q, want miss", source)
+	}
+	source, hit := fetch()
+	if source != "hit" {
+		t.Errorf("second request cache=%q, want hit", source)
+	}
+	if string(cold) != string(hit) {
+		t.Error("cache hit not byte-identical to cold response")
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+
+	if _, err := http.Get(fmt.Sprintf("%s/healthz", base)); err == nil {
+		t.Error("daemon still serving after drain")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"path"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -357,19 +358,56 @@ func (c *Coordinator) failBlock(leaseID, worker, reason string) {
 }
 
 func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
-	pending, leased, done := c.table.counts()
+	states, fails, leases := c.table.snapshot()
 	c.mu.Lock()
 	merged, abort := c.merged, c.abort
 	c.mu.Unlock()
-	writeJSON(w, http.StatusOK, Status{
+
+	st := Status{
 		Version: ProtocolVersion,
 		Blocks:  len(c.blocks),
-		Pending: pending,
-		Leased:  leased,
-		Done:    done,
 		Merged:  merged,
 		Abort:   abort,
-	})
+	}
+	// Per-experiment breakdown, in the coordinator's run order (the
+	// block list is already grouped by experiment).
+	byExp := make(map[string]*ExpStatus)
+	for _, e := range c.opts.Experiments {
+		byExp[e.Name] = &ExpStatus{Exp: e.Name}
+	}
+	for b, blk := range c.blocks {
+		es := byExp[blk.exp.Name]
+		es.Blocks++
+		es.Fails += fails[b]
+		switch states[b] {
+		case blockPending:
+			es.Pending++
+			st.Pending++
+		case blockLeased:
+			es.Leased++
+			st.Leased++
+		case blockDone:
+			es.Done++
+			st.Done++
+		}
+	}
+	for _, e := range c.opts.Experiments {
+		st.Experiments = append(st.Experiments, *byExp[e.Name])
+	}
+	now := c.opts.Now()
+	for _, l := range leases {
+		blk := c.blocks[l.block]
+		st.Leases = append(st.Leases, LeaseStatus{
+			LeaseID:   l.id,
+			Worker:    l.worker,
+			Exp:       blk.exp.Name,
+			Block:     blk.shard.Index,
+			Dir:       blk.dir,
+			ExpiresMS: int(max(l.deadline.Sub(now), 0) / time.Millisecond),
+		})
+	}
+	sort.Slice(st.Leases, func(i, j int) bool { return st.Leases[i].Dir < st.Leases[j].Dir })
+	writeJSON(w, http.StatusOK, st)
 }
 
 // Wait blocks until the unit space is covered (nil), the run aborts

@@ -228,7 +228,81 @@ func TestDistributedRunMatchesDirect(t *testing.T) {
 	if st.Blocks != c.Blocks() || st.Done != st.Blocks || !st.Merged || st.Abort != "" {
 		t.Errorf("status = %+v, want all %d blocks done and merged", st, c.Blocks())
 	}
+	if len(st.Experiments) != len(exps) {
+		t.Fatalf("status lists %d experiments, want %d", len(st.Experiments), len(exps))
+	}
+	expBlocks := 0
+	for i, es := range st.Experiments {
+		if es.Exp != exps[i].Name {
+			t.Errorf("status experiment %d = %q, want %q (run order)", i, es.Exp, exps[i].Name)
+		}
+		if es.Done != es.Blocks || es.Pending != 0 || es.Leased != 0 {
+			t.Errorf("%s: %+v, want all %d blocks done", es.Exp, es, es.Blocks)
+		}
+		expBlocks += es.Blocks
+	}
+	if expBlocks != st.Blocks {
+		t.Errorf("per-experiment blocks sum to %d, want %d", expBlocks, st.Blocks)
+	}
+	if len(st.Leases) != 0 {
+		t.Errorf("status lists %d leases after completion, want 0", len(st.Leases))
+	}
 	checkGoroutines(t, base)
+}
+
+// TestStatusLeaseSummary pins the mid-run half of the status endpoint:
+// an outstanding lease shows up with its worker, block coordinates and
+// remaining TTL, and the per-experiment breakdown tracks it.
+func TestStatusLeaseSummary(t *testing.T) {
+	cfg := testCfg()
+	c, err := New(Options{
+		Experiments: []sim.Experiment{lookupExp(t, "eq3")},
+		Config:      cfg,
+		Root:        t.TempDir(),
+		BlockUnits:  4,
+		LeaseTTL:    10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := c.Handler()
+	var lease LeaseResponse
+	if code := post(t, h, "/v1/lease", LeaseRequest{Version: ProtocolVersion, Worker: "w-status"}, &lease); code != http.StatusOK {
+		t.Fatalf("lease: HTTP %d", code)
+	}
+	if lease.Assignment == nil {
+		t.Fatalf("lease response carries no assignment: %+v", lease)
+	}
+
+	var st Status
+	req := httptest.NewRequest(http.MethodGet, "/v1/status", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status: HTTP %d", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Leased != 1 || st.Pending != st.Blocks-1 || st.Done != 0 {
+		t.Errorf("status counts = %+v, want 1 leased, %d pending", st, st.Blocks-1)
+	}
+	if len(st.Experiments) != 1 || st.Experiments[0].Exp != "eq3" || st.Experiments[0].Leased != 1 {
+		t.Errorf("experiment breakdown = %+v, want eq3 with 1 leased block", st.Experiments)
+	}
+	if len(st.Leases) != 1 {
+		t.Fatalf("status lists %d leases, want 1", len(st.Leases))
+	}
+	l := st.Leases[0]
+	if l.LeaseID != lease.LeaseID || l.Worker != "w-status" || l.Exp != "eq3" {
+		t.Errorf("lease row = %+v, want id %s held by w-status on eq3", l, lease.LeaseID)
+	}
+	if l.Block != lease.Assignment.Block || l.Dir != lease.Assignment.Dir {
+		t.Errorf("lease row coordinates = %+v, want block %d dir %s", l, lease.Assignment.Block, lease.Assignment.Dir)
+	}
+	if l.ExpiresMS <= 0 || l.ExpiresMS > int(10*time.Second/time.Millisecond) {
+		t.Errorf("lease expires_ms = %d, want within (0, TTL]", l.ExpiresMS)
+	}
 }
 
 // TestLeaseExpiryReassignsBlock pins the liveness half of the protocol

@@ -207,6 +207,21 @@ func (t *leaseTable) counts() (pending, leased, done int) {
 	return pending, leased, done
 }
 
+// snapshot returns a copy of every block's state, the per-block
+// failure counts, and the outstanding leases — the raw material of the
+// status endpoint's summary.
+func (t *leaseTable) snapshot() (states []blockState, fails []int, leases []activeLease) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.expireLocked()
+	states = append([]blockState(nil), t.state...)
+	fails = append([]int(nil), t.fails...)
+	for _, l := range t.byID {
+		leases = append(leases, *l)
+	}
+	return states, fails, leases
+}
+
 // remaining returns the number of blocks not yet done.
 func (t *leaseTable) remaining() int {
 	t.mu.Lock()

@@ -1,10 +1,10 @@
 package dist
 
 import (
-	"encoding/json"
 	"errors"
-	"fmt"
 	"net/http"
+
+	"repro/internal/serve"
 )
 
 // ProtocolVersion is the coordinator/worker wire version. Every request
@@ -97,7 +97,11 @@ type FailRequest struct {
 	Reason  string `json:"reason"`
 }
 
-// Status is the coordinator's observable state (GET /v1/status).
+// Status is the coordinator's observable state (GET /v1/status): the
+// fleet-wide block counts, a per-experiment breakdown, and the
+// outstanding leases — enough for a dashboard (or an operator with
+// curl) to see which worker holds which block and how far each
+// experiment has progressed.
 type Status struct {
 	Version int    `json:"version"`
 	Blocks  int    `json:"blocks"`
@@ -106,35 +110,57 @@ type Status struct {
 	Done    int    `json:"done"`
 	Merged  bool   `json:"merged"`
 	Abort   string `json:"abort,omitempty"`
+	// Experiments breaks the block counts down by registry experiment,
+	// in the coordinator's run order.
+	Experiments []ExpStatus `json:"experiments"`
+	// Leases lists the outstanding leases, ordered by block index.
+	Leases []LeaseStatus `json:"leases,omitempty"`
 }
 
-// errorBody is the JSON body of every non-200 response.
-type errorBody struct {
-	Error string `json:"error"`
+// ExpStatus is one experiment's slice of the block space.
+type ExpStatus struct {
+	Exp     string `json:"exp"`
+	Blocks  int    `json:"blocks"`
+	Pending int    `json:"pending"`
+	Leased  int    `json:"leased"`
+	Done    int    `json:"done"`
+	Fails   int    `json:"fails,omitempty"` // cumulative explicit failures
 }
+
+// LeaseStatus is one outstanding lease.
+type LeaseStatus struct {
+	LeaseID string `json:"lease_id"`
+	Worker  string `json:"worker"`
+	Exp     string `json:"exp"`
+	Block   int    `json:"block"`
+	Dir     string `json:"dir"`
+	// ExpiresMS is the time left until the lease expires without a
+	// heartbeat, on the coordinator's clock.
+	ExpiresMS int `json:"expires_ms"`
+}
+
+// errorBody aliases the serve package's error shape, so every HTTP
+// surface of the repository answers errors as {"error": ...}.
+type errorBody = serve.ErrorBody
 
 // ErrLeaseLost is returned (as HTTP 409) when a lease is no longer
 // held: it expired and was reassigned, or its block was completed by
 // another worker. The holder must stop working on the block.
 var ErrLeaseLost = errors.New("dist: lease expired or superseded")
 
-// writeJSON writes v as a JSON response with the given status.
+// writeJSON, writeError and readJSON delegate to the serve package's
+// shared HTTP plumbing: one JSON/error dialect across the repository's
+// daemons (reprod and the sweepd coordinator). readJSON rejects
+// unknown fields so a version drift between coordinator and worker
+// surfaces as a diagnostic rather than silently dropped fields.
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	serve.WriteJSON(w, status, v)
 }
 
-// writeError writes an errorBody response.
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+	serve.WriteError(w, status, format, args...)
 }
 
-// readJSON decodes a request body, rejecting unknown fields so a
-// version drift between coordinator and worker surfaces as a diagnostic
-// rather than silently dropped fields.
 func readJSON(r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
-	dec.DisallowUnknownFields()
-	return dec.Decode(v)
+	return serve.ReadJSON(r, v, 1<<20)
 }

@@ -1,0 +1,52 @@
+// Package serve is the experiment-serving layer: a resident HTTP/JSON
+// service (run by cmd/reprod) that answers experiment requests from an
+// exact result cache, computing each distinct configuration at most
+// once however many clients ask for it.
+//
+// # Why exact caching is sound
+//
+// The cache stores the literal response bytes of a completed run and
+// serves them verbatim on a hit. That is correct — not approximately,
+// but byte-for-byte — because of two contracts the sim layer already
+// enforces:
+//
+//  1. The seed-derivation contract (internal/sim/sweep.go): every
+//     random quantity of a run is a pure function of (master seed,
+//     point salt, trial) through the single audited deriveSeed, so a
+//     recomputation at the same configuration reproduces every
+//     measurement bit-for-bit, and sim.Result's JSON encoding is a
+//     stable pure function of the configuration — byte-identical
+//     across Workers settings and scheduler interleavings.
+//  2. The run-identity contract (sim.RunKey): the cache key is the
+//     canonical encoding of exactly the identity the checkpoint
+//     manifest pins — seed, name, salt namespace, scale, trials, RNG
+//     kind, step budget, and the plan's full point/arm shape, with
+//     Workers deliberately absent. Cache identity therefore equals
+//     determinism identity: two requests share a key if and only if a
+//     recomputation would produce identical bytes.
+//
+// Together these make a cache hit indistinguishable from a recompute,
+// so the serving layer needs no invalidation, no TTLs and no
+// staleness reasoning — an entry is evicted only for capacity (LRU).
+//
+// # Admission control and lifecycle
+//
+// Requests pass three gates before reaching the sweep engine: a
+// per-client token-bucket rate limit (429 with Retry-After), the
+// cache/single-flight layer (N concurrent identical requests cost one
+// run; followers receive the leader's bytes), and an inflight-run
+// limiter bounding concurrent sweeps (503 when saturated). Accepted
+// runs execute under a context joined from the client request, the
+// per-run timeout and the server's drain signal, so a disconnected
+// client — or a SIGTERM — cancels the underlying SweepPlan.RunContext
+// promptly and its workers drain leak-free, per the cancellation
+// contract. cmd/reprod's shutdown sequence is: stop accepting, cancel
+// inflight runs via Drain, let http.Server.Shutdown reap the handlers,
+// exit 0.
+//
+// Observability: Prometheus-style /metrics (cache hits, misses,
+// evictions, inflight runs, run-latency histogram, per-experiment and
+// per-status counters), /healthz for probes, /debug/stats and
+// /debug/pprof/ for operators, and one structured log line per
+// request.
+package serve

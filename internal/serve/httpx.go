@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+)
+
+// This file holds the package's small HTTP plumbing, shared beyond it:
+// internal/dist's coordinator speaks through the same JSON/error
+// helpers, so every HTTP surface of the repository answers errors in
+// the same {"error": ...} shape.
+
+// ErrorBody is the JSON body of every non-200 response.
+type ErrorBody struct {
+	Error string `json:"error"`
+}
+
+// WriteJSON writes v as a JSON response with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// WriteError writes an ErrorBody response.
+func WriteError(w http.ResponseWriter, status int, format string, args ...any) {
+	WriteJSON(w, status, ErrorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// ReadJSON decodes a request body of at most maxBytes, rejecting
+// unknown fields so a client/server version drift surfaces as a
+// diagnostic rather than silently dropped fields.
+func ReadJSON(r *http.Request, v any, maxBytes int64) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBytes))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// clientKey extracts the rate-limit identity of a request: the client
+// IP without the ephemeral port, so reconnects share a bucket.
+func clientKey(remoteAddr string) string {
+	host, _, err := net.SplitHostPort(remoteAddr)
+	if err != nil {
+		return remoteAddr
+	}
+	return host
+}
+
+// LimitListener bounds the number of simultaneously accepted
+// connections — the outermost admission gate, ahead of any HTTP
+// parsing. Accept blocks once the limit is reached and resumes as
+// connections close.
+func LimitListener(ln net.Listener, limit int) net.Listener {
+	return &limitListener{Listener: ln, sem: make(chan struct{}, limit)}
+}
+
+type limitListener struct {
+	net.Listener
+	sem chan struct{}
+}
+
+func (l *limitListener) Accept() (net.Conn, error) {
+	l.sem <- struct{}{}
+	c, err := l.Listener.Accept()
+	if err != nil {
+		<-l.sem
+		return nil, err
+	}
+	return &limitConn{Conn: c, release: func() { <-l.sem }}, nil
+}
+
+type limitConn struct {
+	net.Conn
+	once    sync.Once
+	release func()
+}
+
+func (c *limitConn) Close() error {
+	err := c.Conn.Close()
+	c.once.Do(c.release)
+	return err
+}

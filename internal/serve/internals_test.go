@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestResultCacheLRU(t *testing.T) {
+	evicted := 0
+	c := newResultCache(2, func() { evicted++ })
+	c.add("a", []byte("A"))
+	c.add("b", []byte("B"))
+	if _, ok := c.get("a"); !ok { // promotes a over b
+		t.Fatal("a missing")
+	}
+	c.add("c", []byte("C")) // evicts b, the least recently used
+	if _, ok := c.get("b"); ok {
+		t.Error("b survived past capacity; LRU should have evicted it")
+	}
+	if body, ok := c.get("a"); !ok || string(body) != "A" {
+		t.Errorf("a = %q, %v; want A (promoted by the earlier get)", body, ok)
+	}
+	if evicted != 1 {
+		t.Errorf("onEvict ran %d times, want 1", evicted)
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+	// Re-adding an existing key refreshes its position, no eviction.
+	c.add("a", []byte("A"))
+	if evicted != 1 || c.len() != 2 {
+		t.Errorf("re-add changed the cache: %d evictions, len %d", evicted, c.len())
+	}
+}
+
+func TestFlightGroupDedup(t *testing.T) {
+	g := newFlightGroup()
+	var runs atomic.Int64
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+
+	const followers = 7
+	var wg sync.WaitGroup
+	leaderBody := make(chan []byte, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		body, shared, err := g.do("k", func() ([]byte, error) {
+			runs.Add(1)
+			close(entered)
+			<-gate
+			return []byte("result"), nil
+		}, nil)
+		if shared || err != nil {
+			t.Errorf("leader: shared=%v err=%v", shared, err)
+		}
+		leaderBody <- body
+	}()
+	<-entered
+	sharedCount := atomic.Int64{}
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, shared, err := g.do("k", func() ([]byte, error) {
+				runs.Add(1)
+				return nil, fmt.Errorf("follower ran fn")
+			}, nil)
+			if err != nil || string(body) != "result" {
+				t.Errorf("follower: body=%q err=%v", body, err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	// Land the flight only once every follower is parked on it; a
+	// follower arriving later would lead a fresh flight and run fn.
+	deadline := time.Now().Add(5 * time.Second)
+	for g.parked("k") < followers && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	if n := runs.Load(); n != 1 {
+		t.Errorf("fn ran %d times, want 1", n)
+	}
+	if string(<-leaderBody) != "result" {
+		t.Error("leader body mismatch")
+	}
+	if n := sharedCount.Load(); n != followers {
+		t.Errorf("%d followers marked shared, want %d", n, followers)
+	}
+}
+
+func TestFlightGroupFailureNotCached(t *testing.T) {
+	g := newFlightGroup()
+	boom := errors.New("boom")
+	if _, _, err := g.do("k", func() ([]byte, error) { return nil, boom }, nil); !errors.Is(err, boom) {
+		t.Fatalf("first do: %v", err)
+	}
+	// The failed flight was forgotten: the next caller leads a new one.
+	body, shared, err := g.do("k", func() ([]byte, error) { return []byte("ok"), nil }, nil)
+	if shared || err != nil || string(body) != "ok" {
+		t.Errorf("retry: body=%q shared=%v err=%v, want fresh leader", body, shared, err)
+	}
+}
+
+func TestFlightGroupFollowerCancel(t *testing.T) {
+	g := newFlightGroup()
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	go g.do("k", func() ([]byte, error) {
+		close(entered)
+		<-gate
+		return []byte("late"), nil
+	}, nil)
+	<-entered
+	cancel := make(chan struct{})
+	close(cancel)
+	_, shared, err := g.do("k", nil, cancel)
+	close(gate)
+	if !shared || !errors.Is(err, errCancelled) {
+		t.Errorf("cancelled follower: shared=%v err=%v, want shared errCancelled", shared, err)
+	}
+}
+
+func TestRateLimiterBucket(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	l := newRateLimiter(1, 2, clock) // 1 token/s, burst 2
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.allow("c"); !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	ok, retry := l.allow("c")
+	if ok {
+		t.Fatal("third request inside the burst window allowed")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Errorf("retryAfter = %s, want (0, 1s]", retry)
+	}
+	// Another client owns its own bucket.
+	if ok, _ := l.allow("other"); !ok {
+		t.Error("fresh client denied")
+	}
+	// One second refills one token.
+	now = now.Add(time.Second)
+	if ok, _ := l.allow("c"); !ok {
+		t.Error("refilled token denied")
+	}
+	if ok, _ := l.allow("c"); ok {
+		t.Error("second request after a 1-token refill allowed")
+	}
+}
+
+func TestRateLimiterDisabled(t *testing.T) {
+	l := newRateLimiter(0, 1, nil)
+	for i := 0; i < 100; i++ {
+		if ok, _ := l.allow("c"); !ok {
+			t.Fatal("disabled limiter denied a request")
+		}
+	}
+}
+
+func TestRateLimiterPrune(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	l := newRateLimiter(1, 1, clock)
+	l.maxClients = 4
+	for i := 0; i < 4; i++ {
+		l.allow(fmt.Sprintf("c%d", i))
+	}
+	// All four buckets refill after a second; the fifth client's
+	// arrival prunes them instead of growing the table.
+	now = now.Add(2 * time.Second)
+	l.allow("c4")
+	l.mu.Lock()
+	n := len(l.clients)
+	l.mu.Unlock()
+	if n != 1 {
+		t.Errorf("client table holds %d entries after prune, want 1", n)
+	}
+}
+
+func TestLimitListener(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := LimitListener(inner, 1)
+	defer ln.Close()
+
+	accepted := make(chan net.Conn, 2)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+
+	c1, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	s1 := <-accepted
+
+	// The second dial connects at the TCP level but is not accepted
+	// until the first accepted conn closes.
+	c2, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	select {
+	case <-accepted:
+		t.Fatal("second conn accepted past the limit")
+	case <-time.After(100 * time.Millisecond):
+	}
+	s1.Close()
+	select {
+	case s2 := <-accepted:
+		s2.Close()
+	case <-time.After(5 * time.Second):
+		t.Fatal("second conn never accepted after the first released")
+	}
+}

@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the server's observability surface, exposed in the
+// Prometheus text format on /metrics. It is hand-rolled — counters,
+// gauges and one histogram over atomics — so the daemon carries no
+// dependency for what is a handful of integers.
+type Metrics struct {
+	start time.Time
+
+	// Cache counters. Hits serve stored bytes; misses run the sweep (or
+	// join an inflight one: a single-flight follower counts as a miss,
+	// it arrived before the bytes existed, plus a SharedRuns increment).
+	CacheHits      atomic.Int64
+	CacheMisses    atomic.Int64
+	CacheEvictions atomic.Int64
+	CacheEntries   atomic.Int64
+
+	// Admission counters.
+	RateLimited  atomic.Int64 // 429s from the per-client token bucket
+	Saturated    atomic.Int64 // 503s from the inflight-run limiter
+	SharedRuns   atomic.Int64 // requests served by joining another request's run
+	InflightRuns atomic.Int64 // gauge: sweeps executing right now
+
+	// Outcome counters.
+	requestsMu sync.Mutex
+	requests   map[string]int64 // by HTTP status code
+	runsMu     sync.Mutex
+	runs       map[string]int64 // completed runs by experiment name
+
+	// Run latency histogram (seconds).
+	runSeconds histogram
+}
+
+// NewMetrics returns a zeroed metrics surface.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		start:      time.Now(),
+		requests:   make(map[string]int64),
+		runs:       make(map[string]int64),
+		runSeconds: newHistogram(0.001, 0.005, 0.025, 0.1, 0.25, 1, 2.5, 10, 60),
+	}
+}
+
+// CountRequest records one finished request by HTTP status.
+func (m *Metrics) CountRequest(status int) {
+	m.requestsMu.Lock()
+	m.requests[fmt.Sprintf("%d", status)]++
+	m.requestsMu.Unlock()
+}
+
+// CountRun records one completed experiment run and its latency.
+func (m *Metrics) CountRun(exp string, d time.Duration) {
+	m.runsMu.Lock()
+	m.runs[exp]++
+	m.runsMu.Unlock()
+	m.runSeconds.observe(d.Seconds())
+}
+
+// histogram is a fixed-bucket cumulative histogram.
+type histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum    atomic.Int64   // microseconds, to stay integral under atomics
+	count  atomic.Int64
+}
+
+func newHistogram(bounds ...float64) histogram {
+	return histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(int64(v * 1e6))
+	h.count.Add(1)
+}
+
+// WritePrometheus renders every metric in the Prometheus text
+// exposition format.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("reprod_cache_hits_total", "Requests answered from the exact result cache.", m.CacheHits.Load())
+	counter("reprod_cache_misses_total", "Requests that needed a run (or joined one in flight).", m.CacheMisses.Load())
+	counter("reprod_cache_evictions_total", "Cache entries evicted for capacity (LRU).", m.CacheEvictions.Load())
+	gauge("reprod_cache_entries", "Entries resident in the result cache.", m.CacheEntries.Load())
+	counter("reprod_ratelimited_total", "Requests rejected 429 by the per-client rate limit.", m.RateLimited.Load())
+	counter("reprod_saturated_total", "Requests rejected 503 by the inflight-run limiter.", m.Saturated.Load())
+	counter("reprod_shared_runs_total", "Requests served by joining another request's identical run.", m.SharedRuns.Load())
+	gauge("reprod_inflight_runs", "Experiment sweeps executing right now.", m.InflightRuns.Load())
+	gauge("reprod_goroutines", "Live goroutines in the serving process.", int64(runtime.NumGoroutine()))
+	fmt.Fprintf(w, "# HELP reprod_uptime_seconds Seconds since the server started.\n# TYPE reprod_uptime_seconds gauge\nreprod_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
+
+	m.requestsMu.Lock()
+	codes := make([]string, 0, len(m.requests))
+	for c := range m.requests {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+	fmt.Fprint(w, "# HELP reprod_requests_total Finished HTTP requests by status code.\n# TYPE reprod_requests_total counter\n")
+	for _, c := range codes {
+		fmt.Fprintf(w, "reprod_requests_total{code=%q} %d\n", c, m.requests[c])
+	}
+	m.requestsMu.Unlock()
+
+	m.runsMu.Lock()
+	exps := make([]string, 0, len(m.runs))
+	for e := range m.runs {
+		exps = append(exps, e)
+	}
+	sort.Strings(exps)
+	fmt.Fprint(w, "# HELP reprod_runs_total Completed experiment runs by registry name.\n# TYPE reprod_runs_total counter\n")
+	for _, e := range exps {
+		fmt.Fprintf(w, "reprod_runs_total{exp=%q} %d\n", e, m.runs[e])
+	}
+	m.runsMu.Unlock()
+
+	h := &m.runSeconds
+	fmt.Fprint(w, "# HELP reprod_run_seconds Experiment run latency.\n# TYPE reprod_run_seconds histogram\n")
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "reprod_run_seconds_bucket{le=\"%g\"} %d\n", b, cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "reprod_run_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "reprod_run_seconds_sum %.6f\n", float64(h.sum.Load())/1e6)
+	fmt.Fprintf(w, "reprod_run_seconds_count %d\n", h.count.Load())
+}

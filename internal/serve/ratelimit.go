@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token-bucket limiter: each client key
+// (IP) owns a bucket of Burst tokens refilled at Rate tokens/second.
+// A request spends one token; an empty bucket is a 429. Buckets are
+// pruned once the table grows past maxClients, dropping clients whose
+// buckets have refilled completely (they carry no state worth keeping),
+// so an address-rotating scanner cannot grow the table without bound.
+type rateLimiter struct {
+	mu         sync.Mutex
+	rate       float64 // tokens per second
+	burst      float64
+	maxClients int
+	clients    map[string]*bucket
+	now        func() time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newRateLimiter builds a limiter; rate <= 0 disables limiting.
+func newRateLimiter(rate float64, burst int, now func() time.Time) *rateLimiter {
+	if now == nil {
+		now = time.Now
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{
+		rate:       rate,
+		burst:      float64(burst),
+		maxClients: 4096,
+		clients:    make(map[string]*bucket),
+		now:        now,
+	}
+}
+
+// allow spends one token of client's bucket; retryAfter is the wait
+// until a token is available when denied.
+func (l *rateLimiter) allow(client string) (ok bool, retryAfter time.Duration) {
+	if l.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t := l.now()
+	b := l.clients[client]
+	if b == nil {
+		if len(l.clients) >= l.maxClients {
+			l.pruneLocked(t)
+		}
+		b = &bucket{tokens: l.burst, last: t}
+		l.clients[client] = b
+	} else {
+		b.tokens = min(l.burst, b.tokens+t.Sub(b.last).Seconds()*l.rate)
+		b.last = t
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+}
+
+// pruneLocked drops clients whose buckets are full again.
+func (l *rateLimiter) pruneLocked(t time.Time) {
+	for k, b := range l.clients {
+		if min(l.burst, b.tokens+t.Sub(b.last).Seconds()*l.rate) >= l.burst {
+			delete(l.clients, k)
+		}
+	}
+}
+
+// runSlots bounds concurrent experiment sweeps. Acquisition is
+// non-blocking: a saturated server answers 503 immediately (the client
+// can back off) instead of queueing unbounded work behind the pool.
+type runSlots chan struct{}
+
+func newRunSlots(n int) runSlots { return make(runSlots, n) }
+
+func (s runSlots) tryAcquire() bool {
+	select {
+	case s <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s runSlots) release() { <-s }

@@ -9,7 +9,6 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"slices"
 	"strconv"
 	"strings"
 )
@@ -64,27 +63,14 @@ const manifestVersion = 1
 const manifestFile = "manifest.json"
 
 // CheckpointManifest pins the identity of the run a checkpoint journal
-// belongs to. Everything that changes the derived seeds or the unit
-// space is included; Workers is deliberately absent (journals are
-// workers-independent, like the tables).
+// belongs to: a format version plus the run's canonical RunKey.
+// Everything that changes the derived seeds or the unit space is in the
+// key; Workers is deliberately absent (journals are
+// workers-independent, like the tables). The embedding keeps the
+// manifest's JSON field-for-field identical to pre-RunKey journals.
 type CheckpointManifest struct {
 	Version int `json:"version"`
-	// Name and Salt are the registry name and salt namespace of the
-	// experiment (empty/zero for bare SweepPlan runs); Scale is the
-	// experiment-level problem-size multiplier.
-	Name  string `json:"name,omitempty"`
-	Salt  uint64 `json:"salt,omitempty"`
-	Scale int    `json:"scale,omitempty"`
-	// Seed, Trials, Kind and MaxSteps are the plan Config (after
-	// defaults) that derived every unit's generators.
-	Seed     uint64 `json:"seed"`
-	Trials   int    `json:"trials"`
-	Kind     int    `json:"kind"`
-	MaxSteps int64  `json:"max_steps,omitempty"`
-	// Points is the plan's full point shape in canonical order; with
-	// the per-point trial counts it determines the unit space the
-	// journal's record indexes refer to.
-	Points []ManifestPoint `json:"points"`
+	RunKey
 }
 
 // ManifestPoint is one PointSpec's identity inside a manifest.
@@ -111,85 +97,29 @@ type UnitRecord struct {
 // manifest builds the plan's manifest under cfg (defaults applied) with
 // ck's registry identity stamps.
 func (pl *SweepPlan) manifest(cfg Config, ck *Checkpoint) *CheckpointManifest {
-	m := &CheckpointManifest{
-		Version:  manifestVersion,
-		Name:     ck.Name,
-		Salt:     ck.Salt,
-		Scale:    ck.Scale,
-		Seed:     cfg.Seed,
-		Trials:   cfg.Trials,
-		Kind:     int(cfg.Kind),
-		MaxSteps: cfg.MaxSteps,
+	return &CheckpointManifest{
+		Version: manifestVersion,
+		RunKey:  pl.runKey(cfg, ck.Name, ck.Salt, ck.Scale),
 	}
-	for i := range pl.Points {
-		pt := &pl.Points[i]
-		mp := ManifestPoint{Key: pt.Key, Salt: pt.Salt, Trials: pt.trials(cfg)}
-		for _, a := range pt.Arms {
-			mp.Arms = append(mp.Arms, a.Name)
-		}
-		m.Points = append(m.Points, mp)
-	}
-	return m
 }
 
 // checkShape rejects manifests that could not have been written by
 // writeManifest, whatever plan they came from.
 func (m *CheckpointManifest) checkShape() error {
-	switch {
-	case m.Version != manifestVersion:
+	if m.Version != manifestVersion {
 		return fmt.Errorf("format version %d, this binary reads version %d", m.Version, manifestVersion)
-	case m.Trials < 1:
-		return fmt.Errorf("implausible trial count %d", m.Trials)
-	case m.Kind < 0:
-		return fmt.Errorf("implausible RNG kind %d", m.Kind)
-	case m.MaxSteps < 0:
-		return fmt.Errorf("implausible step budget %d", m.MaxSteps)
-	case len(m.Points) == 0:
-		return errors.New("no points")
 	}
-	for i, pt := range m.Points {
-		if pt.Key == "" {
-			return fmt.Errorf("point %d has an empty key", i)
-		}
-		if pt.Trials < 1 {
-			return fmt.Errorf("point %q has implausible trial count %d", pt.Key, pt.Trials)
-		}
-	}
-	return nil
+	return m.RunKey.checkShape()
 }
 
 // matches reports the first difference between a journal's manifest m
 // and the manifest the current plan would write — the refusal
 // diagnostic of every resume/merge validation.
 func (m *CheckpointManifest) matches(want *CheckpointManifest) error {
-	switch {
-	case m.Version != want.Version:
+	if m.Version != want.Version {
 		return fmt.Errorf("format version %d vs %d", m.Version, want.Version)
-	case m.Name != want.Name:
-		return fmt.Errorf("journal is for experiment %q, current run is %q", m.Name, want.Name)
-	case m.Salt != want.Salt:
-		return fmt.Errorf("journal salt namespace %d, current run %d", m.Salt, want.Salt)
-	case m.Seed != want.Seed:
-		return fmt.Errorf("journal master seed %d, current run %d", m.Seed, want.Seed)
-	case m.Trials != want.Trials:
-		return fmt.Errorf("journal trials %d, current run %d", m.Trials, want.Trials)
-	case m.Scale != want.Scale:
-		return fmt.Errorf("journal scale %d, current run %d", m.Scale, want.Scale)
-	case m.Kind != want.Kind:
-		return fmt.Errorf("journal RNG kind %d, current run %d", m.Kind, want.Kind)
-	case m.MaxSteps != want.MaxSteps:
-		return fmt.Errorf("journal step budget %d, current run %d", m.MaxSteps, want.MaxSteps)
-	case len(m.Points) != len(want.Points):
-		return fmt.Errorf("journal has %d points, current plan %d", len(m.Points), len(want.Points))
 	}
-	for i := range want.Points {
-		g, w := m.Points[i], want.Points[i]
-		if g.Key != w.Key || g.Salt != w.Salt || g.Trials != w.Trials || !slices.Equal(g.Arms, w.Arms) {
-			return fmt.Errorf("point %d is %q (salt %d, %d trials, arms %v) in the journal but %q (salt %d, %d trials, arms %v) in the current plan",
-				i, g.Key, g.Salt, g.Trials, g.Arms, w.Key, w.Salt, w.Trials, w.Arms)
-		}
-	}
-	return nil
+	return m.RunKey.Matches(&want.RunKey)
 }
 
 // ReadCheckpointManifest parses and shape-checks a checkpoint manifest.

@@ -22,6 +22,15 @@ type ExpConfig struct {
 	Trials  int // default 5 (the paper's per-point count)
 	Scale   int // default 1
 	Workers int
+	// Kind selects the RNG family (default xoshiro256**; use
+	// rng.KindMT19937 to mirror the paper's Python experiments). Like
+	// Seed it changes every derived generator, so it is part of the run
+	// identity (RunKey / checkpoint manifest); Workers is not.
+	Kind rng.Kind
+	// MaxSteps caps each trial's walk (0 = per-experiment default).
+	// Points that pin their own budget (PointSpec.MaxSteps, e.g. the
+	// churn experiments) keep it regardless.
+	MaxSteps int64
 }
 
 func (c ExpConfig) withDefaults() ExpConfig {
@@ -38,7 +47,7 @@ func (c ExpConfig) withDefaults() ExpConfig {
 // seed derivation happens inside the SweepPlan via deriveSeed; the
 // experiments only contribute point salts built with Salt.
 func (c ExpConfig) config() Config {
-	return Config{Seed: c.Seed, Trials: c.Trials, Workers: c.Workers}
+	return Config{Seed: c.Seed, Trials: c.Trials, Workers: c.Workers, Kind: c.Kind, MaxSteps: c.MaxSteps}
 }
 
 func eprocessArmV(name string, rule walk.Rule) Arm {

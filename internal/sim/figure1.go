@@ -138,7 +138,7 @@ func init() {
 			// the default (degree, n) cells, with n scaled like every
 			// other experiment. Custom grids stay available through the
 			// typed Figure1 entry point and cmd/figure1.
-			fcfg := Figure1Config{Trials: cfg.Trials, Seed: cfg.Seed, Workers: cfg.Workers}.withDefaults()
+			fcfg := Figure1Config{Trials: cfg.Trials, Seed: cfg.Seed, Workers: cfg.Workers, Kind: cfg.Kind}.withDefaults()
 			for i := range fcfg.Ns {
 				fcfg.Ns[i] *= cfg.Scale
 			}

@@ -28,7 +28,11 @@
 //     result. `go run ./cmd/sweepd` turns the same journals into a
 //     fault-tolerant fleet: a coordinator leases unit blocks to workers
 //     over HTTP, rides out worker deaths and its own restarts, and
-//     merges a result byte-identical to a single-process run.
+//     merges a result byte-identical to a single-process run. `go run
+//     ./cmd/reprod` serves the registry as a resident HTTP/JSON daemon
+//     with an exact result cache keyed by RunKey (a cache hit is
+//     byte-identical to a recomputation), single-flight dedup of
+//     concurrent identical requests, and admission control.
 //
 // Quick start:
 //
@@ -89,6 +93,13 @@ type (
 	// experiment can span machines; MergeShards stitches the shards'
 	// journals back into the canonical result.
 	Shard = sim.Shard
+	// RunKey is the canonical identity of an experiment run: exactly
+	// the fields results are a pure function of (name, salt, seed,
+	// trials, scale, RNG kind, step budget, points shape) — and nothing
+	// else: Workers is deliberately absent. It keys both checkpoint
+	// manifests and `cmd/reprod`'s exact result cache, so "same key"
+	// means "byte-identical result".
+	RunKey = sim.RunKey
 )
 
 var (
