@@ -1,0 +1,50 @@
+package bits
+
+// Arena carves many Sets out of one contiguous word block, so a caller
+// that needs a family of bitsets per run — the batched multi-walk
+// engine needs three per lane — pays one allocation and one clear for
+// all of them instead of W separate Reset cycles, and the sets land
+// adjacent in memory, which is exactly the locality the batch loop
+// wants when it interleaves lanes.
+//
+// The zero value is ready to use. Carve reuses the block across calls
+// when capacity suffices, so a worker that batches run after run
+// allocates only when the total footprint grows.
+type Arena struct {
+	words []uint64
+	sets  []Set
+}
+
+// Carve resizes the arena to hold one zeroed Set per requested length
+// and returns them. Each set's word storage is a capacity-capped
+// subslice of the arena block, so a set that outgrows its view (Reset
+// or Grow past its length) reallocates privately rather than stomping
+// its neighbour. A length of 0 yields a valid empty set.
+//
+// The returned slice and every set view into it are invalidated by the
+// next Carve on the same arena; callers must not retain them across
+// calls.
+func (a *Arena) Carve(sizes []int) []Set {
+	total := 0
+	for _, n := range sizes {
+		total += (n + 63) >> 6
+	}
+	if cap(a.words) < total {
+		a.words = make([]uint64, total)
+	} else {
+		a.words = a.words[:total]
+		clear(a.words)
+	}
+	if cap(a.sets) < len(sizes) {
+		a.sets = make([]Set, len(sizes))
+	} else {
+		a.sets = a.sets[:len(sizes)]
+	}
+	lo := 0
+	for i, n := range sizes {
+		hi := lo + ((n + 63) >> 6)
+		a.sets[i] = Set{words: a.words[lo:hi:hi], n: n}
+		lo = hi
+	}
+	return a.sets
+}

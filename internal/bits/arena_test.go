@@ -1,0 +1,87 @@
+package bits
+
+import "testing"
+
+func TestArenaCarveBasic(t *testing.T) {
+	var a Arena
+	sets := a.Carve([]int{5, 0, 130})
+	if len(sets) != 3 {
+		t.Fatalf("Carve returned %d sets, want 3", len(sets))
+	}
+	for i, n := range []int{5, 0, 130} {
+		if sets[i].Len() != n {
+			t.Errorf("set %d: Len = %d, want %d", i, sets[i].Len(), n)
+		}
+		if c := sets[i].Count(); c != 0 {
+			t.Errorf("set %d: fresh carve has %d set bits, want 0", i, c)
+		}
+	}
+	sets[0].Set(4)
+	sets[2].Set(129)
+	if !sets[0].Test(4) || !sets[2].Test(129) {
+		t.Fatal("set/test through carved views failed")
+	}
+}
+
+// Neighbouring views must not alias: bits set in one set may never
+// become visible in another, including across the shared word block's
+// boundaries.
+func TestArenaCarveNoAliasing(t *testing.T) {
+	var a Arena
+	sets := a.Carve([]int{64, 64, 64})
+	for i := range sets {
+		for j := 0; j < 64; j++ {
+			sets[i].Set(j)
+		}
+	}
+	for i := range sets {
+		if c := sets[i].Count(); c != 64 {
+			t.Fatalf("set %d: count %d after saturating all three, want 64", i, c)
+		}
+	}
+	// Clearing one set leaves the others full.
+	sets[1].Reset(64)
+	if sets[0].Count() != 64 || sets[2].Count() != 64 {
+		t.Fatal("Reset of the middle view disturbed its neighbours")
+	}
+	if sets[1].Count() != 0 {
+		t.Fatal("Reset of the middle view did not clear it")
+	}
+}
+
+// Re-carving must hand back zeroed sets even when the word block is
+// reused, and must reuse storage when the footprint shrinks or stays.
+func TestArenaCarveReuse(t *testing.T) {
+	var a Arena
+	sets := a.Carve([]int{100, 200})
+	sets[0].Set(99)
+	sets[1].Set(199)
+	sets = a.Carve([]int{100, 200})
+	if sets[0].Count() != 0 || sets[1].Count() != 0 {
+		t.Fatal("re-carve returned dirty sets")
+	}
+	// Shrinking then growing within capacity allocates nothing.
+	a.Carve([]int{64})
+	allocs := testing.AllocsPerRun(50, func() {
+		ss := a.Carve([]int{100, 200})
+		ss[0].Set(1)
+	})
+	if allocs != 0 {
+		t.Errorf("Carve within capacity allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// A carved view that grows past its window must detach rather than
+// overwrite the next view's words.
+func TestArenaCarveGrowDetaches(t *testing.T) {
+	var a Arena
+	sets := a.Carve([]int{64, 64})
+	sets[1].Set(0)
+	sets[0].Grow(128)
+	for j := 0; j < 128; j++ {
+		sets[0].Set(j)
+	}
+	if !sets[1].Test(0) || sets[1].Count() != 1 {
+		t.Fatal("growing view 0 stomped view 1's storage")
+	}
+}

@@ -49,10 +49,52 @@ func intn[S Source](src S, n int) int {
 }
 
 // Uint64n returns a uniform value in [0, n) via the fast bounded path.
-func (x *Xoshiro256) Uint64n(n uint64) uint64 { return uint64n(x, n) }
+//
+// Xoshiro256's bounded draws are monomorphized by hand rather than
+// routed through the generic uint64n: the generic instantiates by
+// gcshape and calls Uint64 through a dictionary, which blocks inlining
+// on the one generator every simulation hot loop uses. The concrete
+// body below inlines into devirtualized callers (walk.Batch.stepLane),
+// and is draw-for-draw identical to the generic path.
+func (x *Xoshiro256) Uint64n(n uint64) uint64 {
+	// The xoshiro update is fused in rather than calling Uint64: the
+	// generator's cost sits just above the compiler's inlining budget,
+	// and a simulation draws bounded ints hundreds of millions of times
+	// per sweep, so the whole common path — one state update, one
+	// multiply — runs in this single frame with no further calls.
+	s := &x.s
+	r := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	hi, lo := bits.Mul64(r, n)
+	if lo < n {
+		// Biased low fringe, probability n/2^64: kept out of line.
+		return x.uint64nFringe(n, hi, lo)
+	}
+	return hi
+}
+
+//go:noinline
+func (x *Xoshiro256) uint64nFringe(n, hi, lo uint64) uint64 {
+	thresh := -n % n
+	for lo < thresh {
+		hi, lo = bits.Mul64(x.Uint64(), n)
+	}
+	return hi
+}
 
 // Intn returns a uniform value in [0, n) via the fast bounded path.
-func (x *Xoshiro256) Intn(n int) int { return intn(x, n) }
+func (x *Xoshiro256) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive bound")
+	}
+	return int(x.Uint64n(uint64(n)))
+}
 
 // Uint64n returns a uniform value in [0, n) via the fast bounded path.
 func (s *SplitMix64) Uint64n(n uint64) uint64 { return uint64n(s, n) }

@@ -2,6 +2,7 @@ package rng
 
 import (
 	"math"
+	"math/bits"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -233,5 +234,33 @@ func TestNewSourceMTUsesAllSeedBits(t *testing.T) {
 	}
 	if same {
 		t.Fatal("high seed word ignored: identical MT19937 streams")
+	}
+}
+
+// TestStateInlineUpdateMatches pins the published state layout: an
+// engine that hoists the four words via State, replicates the
+// xoshiro256** update inline, and writes back must produce the exact
+// Uint64 stream. walk's batched cover engine does precisely this.
+func TestStateInlineUpdateMatches(t *testing.T) {
+	ref := NewXoshiro256(12345)
+	x := NewXoshiro256(12345)
+	st := x.State()
+	s0, s1, s2, s3 := st[0], st[1], st[2], st[3]
+	for i := 0; i < 1000; i++ {
+		res := bits.RotateLeft64(s1*5, 7) * 9
+		tt := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= tt
+		s3 = bits.RotateLeft64(s3, 45)
+		if want := ref.Uint64(); res != want {
+			t.Fatalf("draw %d: inline update yields %#x, Uint64 yields %#x", i, res, want)
+		}
+	}
+	st[0], st[1], st[2], st[3] = s0, s1, s2, s3
+	if got, want := x.Uint64(), ref.Uint64(); got != want {
+		t.Fatalf("after write-back: Uint64 yields %#x, want %#x", got, want)
 	}
 }

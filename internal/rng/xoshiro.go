@@ -25,16 +25,29 @@ func NewXoshiro256(seed uint64) *Xoshiro256 {
 	return x
 }
 
-// Uint64 returns the next 64-bit output.
+// State exposes the generator's four state words. Hot loops that cannot
+// afford a call per draw (walk's batched cover engine) hoist the words
+// into locals, replicate the xoshiro256** update inline, and write the
+// words back when the burst ends; the update they replicate is pinned
+// against this generator by TestStateInlineUpdateMatches. The pointer
+// aliases live state: interleaving draws through it with draws through
+// the methods is only coherent if every burst writes back first.
+func (x *Xoshiro256) State() *[4]uint64 { return &x.s }
+
+// Uint64 returns the next 64-bit output. The state is addressed through
+// a hoisted array pointer: the same update, but the body prices under
+// the compiler's inlining budget, which the bounded-draw hot paths
+// (Uint64n, and through it walk's batched cover engine) rely on.
 func (x *Xoshiro256) Uint64() uint64 {
-	result := bits.RotateLeft64(x.s[1]*5, 7) * 9
-	t := x.s[1] << 17
-	x.s[2] ^= x.s[0]
-	x.s[3] ^= x.s[1]
-	x.s[1] ^= x.s[2]
-	x.s[0] ^= x.s[3]
-	x.s[2] ^= t
-	x.s[3] = bits.RotateLeft64(x.s[3], 45)
+	s := &x.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
 	return result
 }
 

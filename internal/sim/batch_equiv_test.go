@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// batchEquivExperiments is the sweep set for the BatchWalks invariance
+// suite: the whole registry normally, and in -short mode a subset that
+// keeps the batch-relevant shapes — a cover-channel batched arm
+// (scalecover), a vertex-only batched arm next to a sequential SRW arm
+// (thm1), the Figure 1 grid (fig1) and a fully sequential multi-arm
+// plan (p1p2) as the no-op control.
+func batchEquivExperiments(t *testing.T) []Experiment {
+	if !testing.Short() {
+		return Registry()
+	}
+	var out []Experiment
+	for _, name := range []string{"scalecover", "thm1", "fig1", "p1p2"} {
+		e, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// The batch engine's contract with the sweep layer: BatchWalks is pure
+// execution strategy, like Workers. For every registry experiment the
+// Result JSON and rendered table must be byte-identical across widths —
+// including 1 (the sequential path, the ground truth), 3 (a width that
+// does not divide the trial counts) and 64 (wider than any trial batch,
+// so every group is truncated by point boundaries).
+func TestBatchWalksInvarianceAllExperiments(t *testing.T) {
+	for _, e := range batchEquivExperiments(t) {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			encode := func(width int) (string, string) {
+				res, err := e.Run(context.Background(),
+					ExpConfig{Seed: 2012, Trials: 2, BatchWalks: width}, RunOptions{})
+				if err != nil {
+					t.Fatalf("BatchWalks=%d: %v", width, err)
+				}
+				j, tb := resultBytes(t, res)
+				return j, tb
+			}
+			seqJSON, seqTable := encode(1)
+			for _, w := range []int{3, 64} {
+				if j, tb := encode(w); j != seqJSON || tb != seqTable {
+					t.Errorf("BatchWalks=%d differs from sequential run:\n--- sequential ---\n%s--- batched ---\n%s",
+						w, seqTable, tb)
+				}
+			}
+		})
+	}
+}
+
+// Checkpoints must be BatchWalks-independent too: a journal written
+// under one width resumes correctly under another, because the journal
+// records (point, trial) units and the batch grouping never crosses a
+// unit's identity — only its execution schedule.
+func TestCheckpointBatchWalksIndependent(t *testing.T) {
+	e, ok := Lookup("scalecover")
+	if !ok {
+		t.Fatal("scalecover not registered")
+	}
+	base := ExpConfig{Seed: 2012, Trials: 3}
+	clean, err := e.Run(context.Background(), base, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanJSON, cleanTable := resultBytes(t, clean)
+	plan, _, err := e.Plan(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := plan.UnitCount() / 2
+	for _, w := range [][2]int{{1, 64}, {64, 1}} {
+		writeCfg, resumeCfg := base, base
+		writeCfg.BatchWalks, resumeCfg.BatchWalks = w[0], w[1]
+		dir := t.TempDir()
+		ctx, cancel := context.WithCancel(context.Background())
+		_, err := e.Run(ctx, writeCfg, RunOptions{
+			Checkpoint: &Checkpoint{Dir: dir},
+			Progress: func(done, total int) {
+				if done >= k {
+					cancel()
+				}
+			},
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("BatchWalks=%d interrupted run returned %v", w[0], err)
+		}
+		resumed, err := e.Run(context.Background(), resumeCfg,
+			RunOptions{Checkpoint: &Checkpoint{Dir: dir, Resume: true}})
+		if err != nil {
+			t.Fatalf("resume at BatchWalks=%d of a BatchWalks=%d journal: %v", w[1], w[0], err)
+		}
+		if j, tb := resultBytes(t, resumed); j != cleanJSON || tb != cleanTable {
+			t.Errorf("BatchWalks=%d journal resumed at BatchWalks=%d differs from clean run:\n--- clean ---\n%s--- resumed ---\n%s",
+				w[0], w[1], cleanTable, tb)
+		}
+	}
+}

@@ -1,12 +1,6 @@
 package sim
 
-import (
-	"fmt"
-
-	"repro/internal/graph"
-	"repro/internal/rng"
-	"repro/internal/walk"
-)
+import "fmt"
 
 // SCALECOVER: large-n cover scaling on the compact hot-state layout.
 //
@@ -73,9 +67,7 @@ func scaleCoverPlan(cfg ExpConfig) (*SweepPlan, func([]PointResult) ([]ScaleCove
 			Key:   fmt.Sprintf("scalecover n=%d", n),
 			Salt:  Salt(saltSCALECOVER, uint64(n)),
 			Graph: regularPointGraph(n, deg),
-			Arms: []Arm{CoverArm("eprocess", func(g *graph.Graph, r *rng.Rand, start int) walk.Process {
-				return walk.NewEProcess(g, r, nil, start)
-			})},
+			Arms:  []Arm{eprocessArm("eprocess")},
 		})
 	}
 	finish := func(points []PointResult) ([]ScaleCoverRow, *Table, error) {

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/graph"
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/walk"
@@ -78,9 +77,7 @@ func figure1Plan(cfg Figure1Config) (*SweepPlan, func([]PointResult) ([]Figure1S
 				Key:   fmt.Sprintf("figure1 d=%d n=%d", d, n),
 				Salt:  Salt(saltFIG1, uint64(d), uint64(n)),
 				Graph: regularPointGraph(n, d),
-				Arms: []Arm{VertexArm("eprocess", func(g *graph.Graph, r *rng.Rand, start int) walk.Process {
-					return walk.NewEProcess(g, r, walk.Uniform{}, start)
-				})},
+				Arms:  []Arm{eprocessArmV("eprocess", walk.Uniform{})},
 			})
 		}
 	}

@@ -42,6 +42,37 @@ func TestFusedBlueStepZeroAllocs(t *testing.T) {
 	}
 }
 
+// The package-level one-shot cover drivers recycle their CoverScratch
+// through a pool, so after the pool is warm a one-shot call allocates
+// nothing — the 7-allocs/op gap BENCH_5 measured between the non-reuse
+// and reuse full-cover benchmarks came partly from the one-shot
+// drivers' scratch construction, and this pins that part at zero.
+func TestOneShotCoverPooledZeroAllocs(t *testing.T) {
+	g := mustRegular(t, newRand(15), 200, 4)
+	e := NewEProcess(g, rng.NewXoshiro256(16), nil, 0)
+	if _, err := Cover(e, 0); err != nil { // warm the pool
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		e.Reset(0)
+		if _, err := VertexCoverSteps(e, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("pooled one-shot VertexCoverSteps allocates %.1f objects per call, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(20, func() {
+		e.Reset(0)
+		if _, err := Cover(e, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("pooled one-shot Cover allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
 func TestSimpleStepZeroAllocs(t *testing.T) {
 	g := mustRegular(t, newRand(3), 500, 4)
 	w := NewSimple(g, rng.NewXoshiro256(4), 0)

@@ -1,0 +1,47 @@
+package walk
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// Scaling study for the batched engine: sequential reuse loop vs W
+// interleaved lanes at several n. Small n (hot state within L2) is the
+// batch's worst case — interleaving multiplies the resident footprint;
+// large n (every step a cache miss) is its best — W independent
+// dependent-chains keep W misses in flight.
+func BenchmarkBatchScale(b *testing.B) {
+	for _, n := range []int{5000, 20000, 50000, 100000} {
+		g := mustRegular(b, newRand(9), n, 4)
+		g.Freeze()
+		for _, w := range []int{1, 2, 4, 8, 16} {
+			b.Run(fmt.Sprintf("n=%d/seq/w=%d", n, w), func(b *testing.B) {
+				var sc CoverScratch
+				for i := 0; i < b.N; i++ {
+					for l := 0; l < w; l++ {
+						e := NewEProcess(g, rng.NewXoshiro256(uint64(100+l)), nil, 0)
+						if _, err := sc.VertexCoverSteps(e, 0); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("n=%d/batch/w=%d", n, w), func(b *testing.B) {
+				var bt Batch
+				lanes := make([]Lane, w)
+				for i := 0; i < b.N; i++ {
+					for l := range lanes {
+						lanes[l] = Lane{G: g, R: rng.NewXoshiro256(uint64(100 + l)), Start: 0}
+					}
+					for _, o := range bt.VertexCover(lanes, 0) {
+						if o.Err != nil {
+							b.Fatal(o.Err)
+						}
+					}
+				}
+			})
+		}
+	}
+}

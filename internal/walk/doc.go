@@ -49,6 +49,26 @@
 // conveniences. internal/walk/alloc_test.go pins all of this with
 // testing.AllocsPerRun.
 //
+// # Batched multi-walk engine
+//
+// Batch advances W independent Uniform-rule E-processes in chunked
+// lockstep (Batch.Cover / Batch.VertexCover, one Lane per walk). The
+// point is memory-level parallelism on the cover workload: a single
+// walk's blue step is a dependent chain of cache misses across the
+// pending arena, while W interleaved walks keep W misses in flight and
+// lanes sharing a graph revisit each other's freshly fetched CSR lines.
+// The batch engine also replaces the sequential engine's lazy
+// prune-on-arrival (the profiler-dominant cost of a full cover) with
+// exact near-O(1) deletion of each crossed edge's two halves, dropping
+// the visited-edge bitset entirely — see the type comment on Batch for
+// the staleness argument. Determinism is non-negotiable and pinned by
+// golden_test.go and batch_test.go: every lane consumes randomness
+// draw-for-draw exactly as a sequential fused-Uniform EProcess with the
+// same generator, so batching reorders memory traffic, never results.
+// The sim sweep runner batches trials of one (point, arm) through this
+// engine when the arm opts in (sim.Arm.RunBatch); tables are
+// byte-identical at every batch width.
+//
 // # Randomness
 //
 // Randomised processes draw bounded ints through the minimal Intner

@@ -3,6 +3,7 @@ package walk
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/bits"
 	"repro/internal/graph"
@@ -37,6 +38,14 @@ type CoverScratch struct {
 	seenE bits.Set
 }
 
+// scratchPool recycles CoverScratch values behind the package-level
+// one-shot drivers, so casual callers (benchmark constructions, tests,
+// tools without a worker loop) stop paying the seen-bitset allocations
+// per call. Workers that run many trials should still hold their own
+// CoverScratch — the pool serialises on nothing but also guarantees
+// nothing about locality.
+var scratchPool = sync.Pool{New: func() any { return new(CoverScratch) }}
+
 // vertexSeen returns a cleared n-element bitset, reusing prior storage
 // when it is large enough.
 func (sc *CoverScratch) vertexSeen(n int) *bits.Set {
@@ -57,7 +66,8 @@ func (sc *CoverScratch) edgeSeen(m int) *bits.Set {
 // a default of 10000·n·ceil(log2 n) steps, far beyond any process here
 // on connected graphs.
 func VertexCoverSteps(p Process, maxSteps int64) (int64, error) {
-	var sc CoverScratch
+	sc := scratchPool.Get().(*CoverScratch)
+	defer scratchPool.Put(sc)
 	return sc.VertexCoverSteps(p, maxSteps)
 }
 
@@ -90,7 +100,8 @@ func (sc *CoverScratch) VertexCoverSteps(p Process, maxSteps int64) (int64, erro
 // EdgeCoverSteps runs p until every edge of its graph has been
 // traversed at least once and returns the number of steps taken.
 func EdgeCoverSteps(p Process, maxSteps int64) (int64, error) {
-	var sc CoverScratch
+	sc := scratchPool.Get().(*CoverScratch)
+	defer scratchPool.Put(sc)
 	return sc.EdgeCoverSteps(p, maxSteps)
 }
 
@@ -129,7 +140,8 @@ type CoverTimes struct {
 
 // Cover runs p until both vertices and edges are covered.
 func Cover(p Process, maxSteps int64) (CoverTimes, error) {
-	var sc CoverScratch
+	sc := scratchPool.Get().(*CoverScratch)
+	defer scratchPool.Put(sc)
 	return sc.Cover(p, maxSteps)
 }
 
