@@ -372,4 +372,16 @@ func TestPublicAPIRunKey(t *testing.T) {
 	if k.Name != "eq3" || k.Seed != 7 || k.Trials != 2 {
 		t.Errorf("decoded run key = %+v, want eq3 seed 7 trials 2", k)
 	}
+	// The strict decoder round-trips the canonical encoding and rejects
+	// what Encode could not have produced.
+	dk, err := repro.DecodeRunKey([]byte(key(base)))
+	if err != nil {
+		t.Fatalf("DecodeRunKey rejected a canonical key: %v", err)
+	}
+	if dk.Encode() != key(base) {
+		t.Error("DecodeRunKey round-trip drifted")
+	}
+	if _, err := repro.DecodeRunKey([]byte(key(base) + "junk")); err == nil {
+		t.Error("DecodeRunKey accepted trailing bytes")
+	}
 }

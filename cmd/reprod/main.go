@@ -12,6 +12,16 @@
 //	curl http://localhost:7700/v1/experiments
 //	curl http://localhost:7700/metrics
 //
+// With -cache-dir the cache gains a persistent tier: response bytes
+// are spilled to disk keyed by their RunKey (atomic temp+fsync+rename
+// writes, a -cache-disk-bytes budget with LRU eviction), the in-memory
+// LRU is warmed from the store on boot, and a memory miss consults
+// disk before re-running the sweep — so a restarted daemon answers
+// previously-computed requests byte-identically without recomputing.
+// Corrupt, truncated or key-mismatched spill files are rejected with a
+// diagnostic, deleted, and recomputed; an unusable directory degrades
+// the daemon to memory-only rather than failing the boot.
+//
 // Admission control: a per-client token bucket (-rate/-burst, 429 over
 // budget), an inflight-run limiter (-inflight, 503 when saturated), a
 // per-run wall-clock cap (-run-timeout, 504), and a connection limit
@@ -42,18 +52,33 @@ import (
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "reprod:", err)
-		if errors.Is(err, flag.ErrHelp) {
+		var ue usageError
+		if errors.Is(err, flag.ErrHelp) || errors.As(err, &ue) {
 			os.Exit(2)
 		}
 		os.Exit(1)
 	}
 }
 
+// usageError marks a command-line mistake — an invalid flag value as
+// opposed to a failed serve. main exits 2 for usage errors (the
+// conventional usage exit code, shared with sweep/sweepd), 1 otherwise.
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+func (e usageError) Unwrap() error { return e.err }
+
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("reprod", flag.ContinueOnError)
 	var (
 		addr       = fs.String("addr", "127.0.0.1:7700", "listen address")
-		cacheSize  = fs.Int("cache", 256, "result cache capacity (entries)")
+		cacheSize  = fs.Int("cache-entries", 256, "in-memory result cache capacity (0 = memory caching disabled)")
+		cacheDir   = fs.String("cache-dir", "", "persistent result store directory (empty = memory-only)")
+		cacheDisk  = fs.Int64("cache-disk-bytes", 256<<20, "byte budget for the persistent store (requires -cache-dir)")
 		rate       = fs.Float64("rate", 10, "per-client sustained requests/second on /v1/run (0 = unlimited)")
 		burst      = fs.Int("burst", 20, "per-client burst allowance")
 		inflight   = fs.Int("inflight", 0, "max concurrent experiment runs (0 = GOMAXPROCS)")
@@ -66,15 +91,34 @@ func run(args []string) error {
 		verbose    = fs.Bool("v", false, "log every request on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return usageError{err}
+	}
+	switch {
+	case *cacheSize < 0:
+		return usagef("-cache-entries %d is negative (0 disables memory caching)", *cacheSize)
+	case *cacheDisk < 0:
+		return usagef("-cache-disk-bytes %d is negative", *cacheDisk)
+	case *cacheDisk == 0:
+		return usagef("-cache-disk-bytes 0 would evict every spill; omit the flag for the default budget")
 	}
 
 	logf := func(string, ...any) {}
 	if *verbose {
 		logf = log.Printf
 	}
+	// Flag 0 = "caching disabled", expressed to serve.Options as a
+	// negative capacity (its 0 means "default").
+	entries := *cacheSize
+	if entries == 0 {
+		entries = -1
+	}
 	s := serve.New(serve.Options{
-		CacheEntries:    *cacheSize,
+		CacheEntries:    entries,
+		CacheDir:        *cacheDir,
+		CacheDiskBytes:  *cacheDisk,
 		RatePerSec:      *rate,
 		RateBurst:       *burst,
 		MaxInflightRuns: *inflight,
@@ -100,6 +144,13 @@ func run(args []string) error {
 	go func() { serveErr <- srv.Serve(ln) }()
 	log.Printf("reprod: serving on %s (cache %d entries, %g req/s per client, %s run timeout)",
 		ln.Addr(), *cacheSize, *rate, *runTimeout)
+	if dir, active, derr := s.DiskCache(); dir != "" {
+		if active {
+			log.Printf("reprod: persistent cache at %s (budget %d bytes)", dir, *cacheDisk)
+		} else {
+			log.Printf("reprod: persistent cache at %s unusable (%v); serving memory-only", dir, derr)
+		}
+	}
 
 	select {
 	case err := <-serveErr:

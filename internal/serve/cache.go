@@ -9,7 +9,11 @@ import (
 // resultCache is an LRU cache from canonical run keys (sim.RunKey
 // encodings) to the exact response bytes of a completed run. Entries
 // never expire — exact caching is sound by the seed-derivation
-// contract (see doc.go) — so eviction is purely capacity-driven.
+// contract (see doc.go) — so eviction is purely capacity-driven. A
+// capacity ≤ 0 is an explicit "caching disabled" mode: get always
+// misses and add is a no-op — in particular it never fires onEvict, so
+// a disabled cache cannot inflate the eviction counter by evicting
+// what it just inserted.
 type resultCache struct {
 	mu      sync.Mutex
 	cap     int
@@ -26,7 +30,7 @@ type cacheEntry struct {
 func newResultCache(capacity int, onEvict func()) *resultCache {
 	return &resultCache{
 		cap:     capacity,
-		entries: make(map[string]*list.Element, capacity),
+		entries: make(map[string]*list.Element, max(capacity, 0)),
 		order:   list.New(),
 		onEvict: onEvict,
 	}
@@ -49,6 +53,9 @@ func (c *resultCache) get(key string) ([]byte, bool) {
 // when over capacity. Re-adding an existing key refreshes its position
 // (the bytes are identical by construction — the run is deterministic).
 func (c *resultCache) add(key string, body []byte) {
+	if c.cap <= 0 {
+		return // caching disabled: no insert, no eviction
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
@@ -120,6 +127,9 @@ func (g *flightGroup) do(key string, fn func() ([]byte, error), cancel <-chan st
 		case <-f.done:
 			return f.body, true, f.err
 		case <-cancel:
+			// The follower leaves the flight: un-count it so parked()
+			// reflects only followers still waiting on the outcome.
+			f.waiters.Add(-1)
 			return nil, true, errCancelled
 		}
 	}

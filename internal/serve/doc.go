@@ -29,6 +29,26 @@
 // so the serving layer needs no invalidation, no TTLs and no
 // staleness reasoning — an entry is evicted only for capacity (LRU).
 //
+// # The persistent tier
+//
+// The same argument survives a restart, because RunKey is exactly the
+// durable identity the checkpoint manifests already persist: with
+// Options.CacheDir set, completed response bytes are additionally
+// spilled to <dir>/<sha256-of-RunKey>.json using the journal layer's
+// write discipline (unique temp file, fsync, rename, fsync'd parent
+// directory), each file carrying a header with the full encoded
+// RunKey, the body length and a body checksum. On boot the store is
+// scanned — temp-file debris deleted, every spill validated, the
+// memory LRU warmed most-recently-modified-first up to capacity — and
+// a memory miss consults disk before computing. The filename hash is
+// only an address: a hit is served solely on the stored key comparing
+// equal to the requested key, so hash collisions, renamed files and
+// key drift are detected, and any corrupted, truncated or mismatched
+// spill is rejected with a diagnostic, deleted, and transparently
+// recomputed. The store enforces a byte budget (Options.CacheDiskBytes)
+// by LRU eviction of spill files; an unusable directory degrades the
+// server to memory-only rather than failing the boot.
+//
 // # Admission control and lifecycle
 //
 // Requests pass three gates before reaching the sweep engine: a

@@ -38,6 +38,28 @@ func TestResultCacheLRU(t *testing.T) {
 	}
 }
 
+// TestResultCacheDisabled pins the cap ≤ 0 contract: no panic from a
+// nonsensical capacity, no insert, and — crucially — no onEvict firing
+// for an entry that was never kept (a cap-0 cache used to evict every
+// entry it had just inserted, inflating the eviction counter on every
+// request).
+func TestResultCacheDisabled(t *testing.T) {
+	for _, capacity := range []int{0, -1, -256} {
+		evicted := 0
+		c := newResultCache(capacity, func() { evicted++ })
+		c.add("a", []byte("A")) // must not panic, insert or evict
+		if _, ok := c.get("a"); ok {
+			t.Errorf("cap %d: disabled cache returned a hit", capacity)
+		}
+		if c.len() != 0 {
+			t.Errorf("cap %d: disabled cache holds %d entries", capacity, c.len())
+		}
+		if evicted != 0 {
+			t.Errorf("cap %d: disabled cache fired onEvict %d times", capacity, evicted)
+		}
+	}
+}
+
 func TestFlightGroupDedup(t *testing.T) {
 	g := newFlightGroup()
 	var runs atomic.Int64
@@ -124,10 +146,16 @@ func TestFlightGroupFollowerCancel(t *testing.T) {
 	cancel := make(chan struct{})
 	close(cancel)
 	_, shared, err := g.do("k", nil, cancel)
-	close(gate)
 	if !shared || !errors.Is(err, errCancelled) {
 		t.Errorf("cancelled follower: shared=%v err=%v, want shared errCancelled", shared, err)
 	}
+	// The departed follower is un-counted while the flight is still
+	// open: a waiter that left via cancel must not leak into parked()
+	// (it used to, over-reporting after every disconnect).
+	if n := g.parked("k"); n != 0 {
+		t.Errorf("parked = %d after the only follower cancelled, want 0", n)
+	}
+	close(gate)
 }
 
 func TestRateLimiterBucket(t *testing.T) {
@@ -187,6 +215,40 @@ func TestRateLimiterPrune(t *testing.T) {
 	l.mu.Unlock()
 	if n != 1 {
 		t.Errorf("client table holds %d entries after prune, want 1", n)
+	}
+}
+
+// TestRateLimiterBoundedUnderAddressRotation pins the hard bound on
+// the client table: at a refill rate too low for any bucket to ever
+// refill, pruning frees nothing — an address-rotating client must then
+// evict the stalest buckets instead of growing the table without bound.
+func TestRateLimiterBoundedUnderAddressRotation(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	l := newRateLimiter(0.0001, 1, clock) // buckets effectively never refill
+	l.maxClients = 4
+	for i := 0; i < 4; i++ {
+		l.allow(fmt.Sprintf("c%d", i))
+		now = now.Add(time.Millisecond) // distinct last-seen times
+	}
+	for i := 4; i < 50; i++ {
+		l.allow(fmt.Sprintf("c%d", i))
+		now = now.Add(time.Millisecond)
+		l.mu.Lock()
+		n := len(l.clients)
+		l.mu.Unlock()
+		if n > l.maxClients {
+			t.Fatalf("client table grew to %d entries (max %d) after %d rotating clients", n, l.maxClients, i+1)
+		}
+	}
+	// The stalest buckets were the ones evicted: the newest client is
+	// still tracked (its empty bucket still denies), the oldest is not.
+	l.mu.Lock()
+	_, newest := l.clients["c49"]
+	_, oldest := l.clients["c0"]
+	l.mu.Unlock()
+	if !newest || oldest {
+		t.Errorf("eviction order wrong: newest tracked=%v, oldest tracked=%v; want true, false", newest, oldest)
 	}
 }
 

@@ -25,6 +25,17 @@ type Metrics struct {
 	CacheEvictions atomic.Int64
 	CacheEntries   atomic.Int64
 
+	// Disk-tier counters (all zero when the store is disabled). A disk
+	// hit is a memory miss answered from a validated spill file; warmed
+	// entries are the spills preloaded into the memory LRU at boot.
+	DiskHits          atomic.Int64
+	SpillWrites       atomic.Int64
+	CorruptSpills     atomic.Int64 // spill files rejected (and deleted) as corrupt/truncated/mismatched
+	EvictedSpillBytes atomic.Int64
+	WarmedEntries     atomic.Int64 // gauge: entries warmed from disk at boot
+	DiskEntries       atomic.Int64 // gauge: spill files resident in the store
+	DiskBytes         atomic.Int64 // gauge: total spill bytes resident
+
 	// Admission counters.
 	RateLimited  atomic.Int64 // 429s from the per-client token bucket
 	Saturated    atomic.Int64 // 503s from the inflight-run limiter
@@ -98,6 +109,13 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("reprod_cache_misses_total", "Requests that needed a run (or joined one in flight).", m.CacheMisses.Load())
 	counter("reprod_cache_evictions_total", "Cache entries evicted for capacity (LRU).", m.CacheEvictions.Load())
 	gauge("reprod_cache_entries", "Entries resident in the result cache.", m.CacheEntries.Load())
+	counter("reprod_disk_hits_total", "Memory misses answered from a validated spill file.", m.DiskHits.Load())
+	counter("reprod_spill_writes_total", "Results spilled to the persistent store.", m.SpillWrites.Load())
+	counter("reprod_spill_corrupt_total", "Spill files rejected (and deleted) as corrupt, truncated or key-mismatched.", m.CorruptSpills.Load())
+	counter("reprod_disk_evicted_bytes_total", "Spill bytes evicted for the disk budget (LRU).", m.EvictedSpillBytes.Load())
+	gauge("reprod_disk_warm_entries", "Cache entries warmed from disk at boot.", m.WarmedEntries.Load())
+	gauge("reprod_disk_entries", "Spill files resident in the persistent store.", m.DiskEntries.Load())
+	gauge("reprod_disk_bytes", "Total bytes resident in the persistent store.", m.DiskBytes.Load())
 	counter("reprod_ratelimited_total", "Requests rejected 429 by the per-client rate limit.", m.RateLimited.Load())
 	counter("reprod_saturated_total", "Requests rejected 503 by the inflight-run limiter.", m.Saturated.Load())
 	counter("reprod_shared_runs_total", "Requests served by joining another request's identical run.", m.SharedRuns.Load())

@@ -7,10 +7,13 @@ import (
 
 // rateLimiter is a per-client token-bucket limiter: each client key
 // (IP) owns a bucket of Burst tokens refilled at Rate tokens/second.
-// A request spends one token; an empty bucket is a 429. Buckets are
-// pruned once the table grows past maxClients, dropping clients whose
-// buckets have refilled completely (they carry no state worth keeping),
-// so an address-rotating scanner cannot grow the table without bound.
+// A request spends one token; an empty bucket is a 429. The table is
+// hard-bounded at maxClients: when a new client would grow it past the
+// bound, clients whose buckets have refilled completely are pruned
+// first (they carry no state worth keeping), and if that frees nothing
+// — at low refill rates no bucket may ever refill — the stalest
+// buckets (least recently seen) are evicted until the insert fits, so
+// an address-rotating scanner cannot grow the table without bound.
 type rateLimiter struct {
 	mu         sync.Mutex
 	rate       float64 // tokens per second
@@ -55,6 +58,9 @@ func (l *rateLimiter) allow(client string) (ok bool, retryAfter time.Duration) {
 	if b == nil {
 		if len(l.clients) >= l.maxClients {
 			l.pruneLocked(t)
+			for len(l.clients) >= l.maxClients {
+				l.evictStalestLocked()
+			}
 		}
 		b = &bucket{tokens: l.burst, last: t}
 		l.clients[client] = b
@@ -75,6 +81,25 @@ func (l *rateLimiter) pruneLocked(t time.Time) {
 		if min(l.burst, b.tokens+t.Sub(b.last).Seconds()*l.rate) >= l.burst {
 			delete(l.clients, k)
 		}
+	}
+}
+
+// evictStalestLocked drops the bucket least recently seen — the
+// fallback when pruning frees nothing. Evicting it can at worst grant
+// one extra burst to a client idle longer than every other tracked
+// client, which is the cheapest state to give up. O(n) scan, but only
+// on the (rare) insert-at-capacity path.
+func (l *rateLimiter) evictStalestLocked() {
+	var stalest string
+	var stalestT time.Time
+	first := true
+	for k, b := range l.clients {
+		if first || b.last.Before(stalestT) {
+			first, stalest, stalestT = false, k, b.last
+		}
+	}
+	if !first {
+		delete(l.clients, stalest)
 	}
 }
 

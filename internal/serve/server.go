@@ -18,8 +18,20 @@ import (
 // Options configures a Server. The zero value serves with sane
 // defaults; cmd/reprod maps its flags onto these fields.
 type Options struct {
-	// CacheEntries bounds the LRU result cache (default 256 entries).
+	// CacheEntries bounds the in-memory LRU result cache (0 = default
+	// 256 entries; negative disables memory caching entirely — every
+	// request consults the disk tier or recomputes).
 	CacheEntries int
+	// CacheDir, when non-empty, enables the persistent result store:
+	// response bytes are spilled to <CacheDir>/<sha256-of-RunKey>.json
+	// (atomic write-temp+fsync+rename), the memory LRU is warmed from
+	// the store at boot, and a memory miss consults disk before
+	// computing. An unusable directory degrades the server to
+	// memory-only with a diagnostic, never a failed boot.
+	CacheDir string
+	// CacheDiskBytes bounds the store's total spill bytes, enforced by
+	// LRU eviction of spill files (0 = default 256 MiB).
+	CacheDiskBytes int64
 	// RatePerSec and RateBurst shape the per-client token bucket on
 	// /v1/run: sustained requests per second and the burst allowance.
 	// RatePerSec <= 0 disables rate limiting.
@@ -46,8 +58,11 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
-	if o.CacheEntries <= 0 {
+	if o.CacheEntries == 0 {
 		o.CacheEntries = 256
+	}
+	if o.CacheDiskBytes == 0 {
+		o.CacheDiskBytes = 256 << 20
 	}
 	if o.RateBurst < 1 {
 		o.RateBurst = 1
@@ -75,6 +90,8 @@ type Server struct {
 	opts    Options
 	metrics *Metrics
 	cache   *resultCache
+	store   *diskStore // nil = memory-only (no CacheDir, or unusable dir)
+	diskErr error      // why the disk tier is off, when CacheDir was set
 	flights *flightGroup
 	limiter *rateLimiter
 	slots   runSlots
@@ -115,6 +132,24 @@ func New(opts Options) *Server {
 		s.metrics.CacheEvictions.Add(1)
 		s.metrics.CacheEntries.Add(-1)
 	})
+	if opts.CacheDir != "" {
+		store, warm, err := newDiskStore(opts.CacheDir, opts.CacheDiskBytes, max(opts.CacheEntries, 0), s.metrics, opts.Logf)
+		if err != nil {
+			// Graceful degradation: an unusable cache directory costs
+			// persistence, never the service.
+			s.diskErr = err
+			opts.Logf("reprod: cache dir %s unusable (%v); serving memory-only", opts.CacheDir, err)
+		} else {
+			s.store = store
+			// Warm the LRU most-recently-used last, so the freshest
+			// spill ends up at the front of the cache order.
+			for i := len(warm) - 1; i >= 0; i-- {
+				s.cache.add(warm[i].key, warm[i].body)
+			}
+			s.metrics.WarmedEntries.Store(int64(s.cache.len()))
+			s.metrics.CacheEntries.Store(int64(s.cache.len()))
+		}
+	}
 	s.drainCtx, s.drain = context.WithCancel(context.Background())
 
 	mux := http.NewServeMux()
@@ -298,23 +333,34 @@ func (s *Server) serveRun(w http.ResponseWriter, r *http.Request) (int, string) 
 	}
 	s.metrics.CacheMisses.Add(1)
 
+	source := "miss"
 	body, shared, err := s.flights.do(ks, func() ([]byte, error) {
 		// A just-landed flight may have populated the cache between our
 		// miss and becoming leader.
 		if body, ok := s.cache.get(ks); ok {
 			return body, nil
 		}
+		// Memory miss: consult the persistent store before computing. A
+		// disk hit is re-validated bytes from a completed run — served
+		// verbatim and promoted into the memory LRU.
+		if s.store != nil {
+			if body, ok := s.store.get(ks); ok {
+				s.metrics.DiskHits.Add(1)
+				s.cache.add(ks, body)
+				s.metrics.CacheEntries.Store(int64(s.cache.len()))
+				source = "disk"
+				return body, nil
+			}
+		}
 		return s.computeRun(r.Context(), e, cfg, ks)
 	}, r.Context().Done())
 	if shared {
 		s.metrics.SharedRuns.Add(1)
+		// Only the leader's closure ran; this request merely joined it.
+		source = "join"
 	}
 	if err != nil {
 		return s.writeRunError(w, err), "-"
-	}
-	source := "miss"
-	if shared {
-		source = "join"
 	}
 	return s.writeResult(w, body, source), source
 }
@@ -351,8 +397,18 @@ func (s *Server) computeRun(reqCtx context.Context, e sim.Experiment, cfg sim.Ex
 	body := buf.Bytes()
 	s.cache.add(key, body)
 	s.metrics.CacheEntries.Store(int64(s.cache.len()))
+	if s.store != nil {
+		s.store.put(key, body)
+	}
 	s.metrics.CountRun(e.Name, time.Since(t0))
 	return body, nil
+}
+
+// DiskCache reports the persistent store's state: the configured
+// directory, whether the disk tier is active, and the boot error that
+// degraded the server to memory-only (nil otherwise).
+func (s *Server) DiskCache() (dir string, active bool, err error) {
+	return s.opts.CacheDir, s.store != nil, s.diskErr
 }
 
 // writeResult serves the exact cached/computed bytes. The body is
@@ -419,7 +475,7 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDebugStats(w http.ResponseWriter, r *http.Request) {
-	WriteJSON(w, http.StatusOK, map[string]any{
+	stats := map[string]any{
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"go_version":     runtime.Version(),
 		"goroutines":     runtime.NumGoroutine(),
@@ -427,6 +483,21 @@ func (s *Server) handleDebugStats(w http.ResponseWriter, r *http.Request) {
 		"cache_entries":  s.cache.len(),
 		"inflight_runs":  s.metrics.InflightRuns.Load(),
 		"draining":       s.draining(),
-	})
+		"disk_active":    s.store != nil,
+	}
+	if s.opts.CacheDir != "" {
+		stats["disk_dir"] = s.opts.CacheDir
+		if s.store != nil {
+			entries, size := s.store.stats()
+			stats["disk_entries"] = entries
+			stats["disk_bytes"] = size
+			stats["disk_hits"] = s.metrics.DiskHits.Load()
+			stats["disk_warm_entries"] = s.metrics.WarmedEntries.Load()
+			stats["disk_corrupt_rejects"] = s.metrics.CorruptSpills.Load()
+		} else if s.diskErr != nil {
+			stats["disk_error"] = s.diskErr.Error()
+		}
+	}
+	WriteJSON(w, http.StatusOK, stats)
 	s.metrics.CountRequest(http.StatusOK)
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -95,6 +96,24 @@ func (k *RunKey) Encode() string {
 		panic(fmt.Sprintf("sim: RunKey encode: %v", err))
 	}
 	return string(data)
+}
+
+// DecodeRunKey parses an encoded run key — the canonical Encode()
+// form persisted outside the process (serving-layer spill headers, log
+// lines) — with the same strictness as checkpoint manifests: unknown
+// fields, trailing bytes and implausible shapes are all errors. A key
+// read back from disk must be validated here before it is trusted as a
+// cache identity; a hash or filename derived from it is never
+// authoritative on its own.
+func DecodeRunKey(data []byte) (*RunKey, error) {
+	var k RunKey
+	if err := decodeStrict(bytes.NewReader(data), &k); err != nil {
+		return nil, fmt.Errorf("run key: %w", err)
+	}
+	if err := k.checkShape(); err != nil {
+		return nil, fmt.Errorf("run key: %w", err)
+	}
+	return &k, nil
 }
 
 // checkShape rejects keys that could not have been produced by runKey,

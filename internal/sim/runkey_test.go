@@ -45,6 +45,47 @@ func TestRunKeyEncodingGolden(t *testing.T) {
 	}
 }
 
+// TestDecodeRunKey pins the strict decoder the serving layer's spill
+// headers rely on: a canonical Encode() round-trips, and anything a
+// runKey construction could not have produced — unknown fields,
+// trailing bytes, implausible shapes, non-JSON — is rejected.
+func TestDecodeRunKey(t *testing.T) {
+	e, ok := Lookup("eq3")
+	if !ok {
+		t.Fatal("eq3 not registered")
+	}
+	key, err := e.RunKey(ExpConfig{Seed: 42, Trials: 2, MaxSteps: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := key.Encode()
+	got, err := DecodeRunKey([]byte(enc))
+	if err != nil {
+		t.Fatalf("canonical key rejected: %v", err)
+	}
+	if got.Encode() != enc {
+		t.Errorf("round-trip drifted:\n got %s\nwant %s", got.Encode(), enc)
+	}
+	if err := got.Matches(key); err != nil {
+		t.Errorf("decoded key differs from the original: %v", err)
+	}
+
+	bad := map[string]string{
+		"empty":         "",
+		"not_json":      "spill",
+		"unknown_field": `{"seed":1,"trials":1,"workers":8,"points":[{"key":"p","salt":1,"trials":1}]}`,
+		"trailing":      enc + "{}",
+		"no_points":     `{"seed":1,"trials":1,"kind":1,"points":[]}`,
+		"zero_trials":   `{"seed":1,"trials":0,"kind":1,"points":[{"key":"p","salt":1,"trials":1}]}`,
+		"null":          "null",
+	}
+	for name, data := range bad {
+		if _, err := DecodeRunKey([]byte(data)); err == nil {
+			t.Errorf("%s: accepted %q", name, data)
+		}
+	}
+}
+
 // TestRunKeyMatchesCheckpointManifest pins the factoring the serving
 // cache depends on: for every registry experiment, Experiment.RunKey is
 // exactly the identity a checkpointed run journals in its manifest.

@@ -123,6 +123,12 @@ var (
 	// the recovery scan and completion check of distributed runs
 	// (cmd/sweepd).
 	ShardCoverage = sim.ShardCoverage
+	// DecodeRunKey strictly parses an encoded RunKey (the canonical
+	// RunKey.Encode form persisted in spill-file headers and logs):
+	// unknown fields, trailing bytes and implausible shapes are all
+	// errors, so a key read back from disk is validated before it is
+	// trusted as a cache identity.
+	DecodeRunKey = sim.DecodeRunKey
 )
 
 // Graph types.
